@@ -1,0 +1,59 @@
+// Ablation: contribution of each City-Hunter ingredient.
+//
+// Strips one design element at a time — WiGLE seeding, untried tracking,
+// the freshness buffer, heat-based weighting — and compares against the
+// full attacker and the MANA baseline in both a static and a flow venue.
+#include "bench_common.h"
+
+using namespace cityhunter;
+
+int main() {
+  bench::print_header("Ablation — City-Hunter component contributions",
+                      "Sec III & IV (cumulative design)");
+  sim::World world = bench::make_world();
+
+  const mobility::VenueConfig venues[] = {mobility::canteen_venue(),
+                                          mobility::subway_passage_venue()};
+  for (const auto& venue : venues) {
+    std::printf("\n--- %s ---\n", venue.name.c_str());
+    support::TextTable t({"variant", "h", "h_b"});
+
+    auto run_one = [&](const char* name, sim::AttackerKind kind,
+                       auto mutate) {
+      sim::RunConfig run;
+      run.kind = kind;
+      run.venue = venue;
+      run.slot.expected_clients = venue.hourly_clients[4];  // midday slot
+      run.slot.group_fraction = venue.hourly_group_fraction[4];
+      run.duration = support::SimTime::hours(1);
+      run.run_seed = 21;  // same crowd for all variants
+      mutate(run);
+      const auto out = sim::run_campaign(world, run);
+      t.add_row({name, support::TextTable::pct(out.result.h()),
+                 support::TextTable::pct(out.result.h_b())});
+    };
+
+    run_one("MANA baseline", sim::AttackerKind::kMana, [](auto&) {});
+    run_one("prelim (unordered sweep)", sim::AttackerKind::kPrelim,
+            [](auto&) {});
+    run_one("full City-Hunter", sim::AttackerKind::kCityHunter, [](auto&) {});
+    run_one("- WiGLE seed", sim::AttackerKind::kCityHunter, [](auto& run) {
+      run.wigle_seed.nearby_count = 0;
+      run.wigle_seed.popular_count = 0;
+    });
+    run_one("- untried tracking", sim::AttackerKind::kCityHunter,
+            [](auto& run) { run.cityhunter.untried_tracking = false; });
+    run_one("- freshness buffer", sim::AttackerKind::kCityHunter,
+            [](auto& run) { run.cityhunter.buffers.use_freshness = false; });
+    run_one("- heat weights (AP count)", sim::AttackerKind::kCityHunter,
+            [](auto& run) {
+              run.wigle_seed.ranking = core::PopularRanking::kApCount;
+            });
+
+    std::printf("%s", t.str().c_str());
+  }
+  std::printf("\nexpectation: every removal costs h_b; WiGLE seeding and "
+              "untried tracking are the largest contributors (Table II), "
+              "ordering MANA < prelim < full holds in both venues\n");
+  return 0;
+}

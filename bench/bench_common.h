@@ -1,0 +1,36 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/scenario.h"
+#include "stats/report.h"
+#include "support/histogram.h"
+#include "support/table.h"
+
+namespace cityhunter::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 42;
+
+inline sim::World make_world(std::uint64_t seed = kDefaultSeed) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  return sim::World(cfg);
+}
+
+inline void print_header(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+/// "paper: X | measured: Y" one-liner for EXPERIMENTS.md bookkeeping.
+inline void paper_vs_measured(const char* metric, const char* paper,
+                              const std::string& measured) {
+  std::printf("  %-34s paper: %-18s measured: %s\n", metric, paper,
+              measured.c_str());
+}
+
+}  // namespace cityhunter::bench

@@ -1,0 +1,71 @@
+// Micro-benchmarks: 802.11 codec throughput (google-benchmark).
+//
+// Every frame in the simulator crosses serialize() + parse(), so codec cost
+// bounds simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "dot11/crc32.h"
+#include "dot11/serialize.h"
+#include "support/rng.h"
+
+using namespace cityhunter;
+
+namespace {
+
+dot11::Frame sample_probe_response() {
+  support::Rng rng(7);
+  const auto bssid = dot11::MacAddress::random_local(rng);
+  const auto client = dot11::MacAddress::random_local(rng);
+  return dot11::make_probe_response(bssid, client, "7-Eleven Free Wifi", 6,
+                                    /*open=*/true, 42);
+}
+
+void BM_SerializeProbeResponse(benchmark::State& state) {
+  const auto frame = sample_probe_response();
+  for (auto _ : state) {
+    auto bytes = dot11::serialize(frame);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SerializeProbeResponse);
+
+void BM_ParseProbeResponse(benchmark::State& state) {
+  const auto bytes = dot11::serialize(sample_probe_response());
+  for (auto _ : state) {
+    auto frame = dot11::parse(bytes);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParseProbeResponse);
+
+void BM_RoundTripBeacon(benchmark::State& state) {
+  support::Rng rng(9);
+  const auto frame = dot11::make_beacon(dot11::MacAddress::random_local(rng),
+                                        "#HKAirport Free WiFi", 11,
+                                        /*open=*/true, 123456, 7);
+  for (auto _ : state) {
+    auto parsed = dot11::parse(dot11::serialize(frame));
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_RoundTripBeacon);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  for (auto _ : state) {
+    auto c = dot11::crc32(data);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

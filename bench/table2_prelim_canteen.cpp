@@ -1,0 +1,54 @@
+// Table II: MANA vs preliminary City-Hunter in the canteen.
+//
+// Paper: MANA h 6.6% / h_b 3%; City-Hunter (prelim: untried tracking +
+// WiGLE seed) h 19.1% / h_b 15.9%, with ~74% of broadcast hits coming from
+// WiGLE-sourced SSIDs, and 20..250 SSIDs (avg ~130) tried per connected
+// client (Fig 2a).
+#include "bench_common.h"
+
+using namespace cityhunter;
+
+int main() {
+  bench::print_header(
+      "Table II — MANA vs preliminary City-Hunter in the canteen",
+      "Table II, Fig 2(a) (Sec III-C)");
+  sim::World world = bench::make_world();
+
+  auto base_run = [&](sim::AttackerKind kind, std::uint64_t run_seed) {
+    sim::RunConfig run;
+    run.kind = kind;
+    run.venue = mobility::canteen_venue();
+    run.slot.expected_clients = 640;
+    run.duration = support::SimTime::minutes(30);
+    run.run_seed = run_seed;
+    return sim::run_campaign(world, run);
+  };
+
+  const auto mana = base_run(sim::AttackerKind::kMana, 2);
+  auto prelim = base_run(sim::AttackerKind::kPrelim, 3);
+  prelim.result.label = "City-Hunter (prelim)";
+
+  std::printf("%s\n",
+              stats::comparison_table({mana.result, prelim.result}).c_str());
+
+  const auto& r = prelim.result;
+  const double wigle_share =
+      r.broadcast_connected
+          ? static_cast<double>(r.hits_from_wigle) /
+                static_cast<double>(r.broadcast_connected)
+          : 0.0;
+  bench::paper_vs_measured("prelim h", "19.1%", support::TextTable::pct(r.h()));
+  bench::paper_vs_measured("prelim h_b", "15.9%",
+                           support::TextTable::pct(r.h_b()));
+  bench::paper_vs_measured("broadcast hits from WiGLE", "~74%",
+                           support::TextTable::pct(wigle_share));
+
+  support::Summary tried;
+  for (const int n : r.ssids_sent_connected) tried.add(n);
+  bench::paper_vs_measured(
+      "SSIDs tried per connected client", "20..250, avg ~130",
+      support::TextTable::num(tried.min(), 0) + ".." +
+          support::TextTable::num(tried.max(), 0) + ", avg " +
+          support::TextTable::num(tried.mean(), 0));
+  return 0;
+}

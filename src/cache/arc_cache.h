@@ -1,0 +1,189 @@
+// Adaptive Replacement Cache (ARC), after Megiddo & Modha, FAST '03.
+//
+// ARC keeps two real lists — T1 (recency: seen once recently) and T2
+// (frequency: seen at least twice) — plus two same-sized ghost lists B1 and
+// B2 holding only the *keys* of recently evicted entries. A hit in ghost B1
+// means "recency is under-provisioned" and grows the recency target p; a hit
+// in B2 shrinks it. City-Hunter's Popularity/Freshness buffer adaptation
+// (core/buffers.h) is the paper's transplant of exactly this mechanism, so we
+// ship the real algorithm both as a substrate and for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cityhunter::cache {
+
+template <typename K, typename V>
+class ArcCache {
+ public:
+  explicit ArcCache(std::size_t capacity) : c_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("ArcCache: capacity 0");
+  }
+
+  /// Look up `key`; adapts internal state on hit.
+  std::optional<V> get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end() || it->second.where == List::kB1 ||
+        it->second.where == List::kB2) {
+      return std::nullopt;
+    }
+    // Hit in T1 or T2: promote to MRU of T2.
+    V value = std::move(it->second.value);
+    move_to(key, it->second, List::kT2);
+    auto& slot = index_.find(key)->second;
+    slot.value = std::move(value);
+    return slot.value;
+  }
+
+  /// Insert or refresh `key`. Implements the full ARC case analysis.
+  void put(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      switch (it->second.where) {
+        case List::kT1:
+        case List::kT2:
+          // Case I: cache hit — move to MRU of T2.
+          it->second.value = std::move(value);
+          move_to(key, it->second, List::kT2);
+          return;
+        case List::kB1:
+          // Case II: ghost hit in B1 — favour recency.
+          p_ = std::min(c_, p_ + std::max<std::size_t>(
+                                   1, b2_.size() / std::max<std::size_t>(
+                                                       1, b1_.size())));
+          replace(/*in_b2=*/false);
+          move_to(key, it->second, List::kT2);
+          index_.find(key)->second.value = std::move(value);
+          return;
+        case List::kB2:
+          // Case III: ghost hit in B2 — favour frequency.
+          p_ = p_ > 0 ? p_ - std::min(p_, std::max<std::size_t>(
+                                              1, b1_.size() /
+                                                     std::max<std::size_t>(
+                                                         1, b2_.size())))
+                      : 0;
+          replace(/*in_b2=*/true);
+          move_to(key, it->second, List::kT2);
+          index_.find(key)->second.value = std::move(value);
+          return;
+      }
+    }
+    // Case IV: brand-new key.
+    if (t1_.size() + b1_.size() == c_) {
+      if (t1_.size() < c_) {
+        // B1 full: drop its LRU ghost, then make room.
+        erase_lru(b1_, List::kB1);
+        replace(false);
+      } else {
+        // T1 itself is full: evict T1's LRU entirely (no ghost).
+        erase_lru(t1_, List::kT1);
+      }
+    } else if (t1_.size() + b1_.size() < c_) {
+      const std::size_t total =
+          t1_.size() + t2_.size() + b1_.size() + b2_.size();
+      if (total >= c_) {
+        if (total == 2 * c_) erase_lru(b2_, List::kB2);
+        replace(false);
+      }
+    }
+    insert_mru(key, List::kT1, std::move(value));
+  }
+
+  bool contains(const K& key) const {
+    auto it = index_.find(key);
+    return it != index_.end() &&
+           (it->second.where == List::kT1 || it->second.where == List::kT2);
+  }
+
+  /// Whether the key currently lives in a ghost list.
+  bool in_ghost(const K& key) const {
+    auto it = index_.find(key);
+    return it != index_.end() &&
+           (it->second.where == List::kB1 || it->second.where == List::kB2);
+  }
+
+  std::size_t size() const { return t1_.size() + t2_.size(); }
+  std::size_t capacity() const { return c_; }
+
+  /// The adaptive recency target p in [0, c]: how much of the cache ARC
+  /// currently wants to devote to recency (T1).
+  std::size_t recency_target() const { return p_; }
+
+  std::size_t t1_size() const { return t1_.size(); }
+  std::size_t t2_size() const { return t2_.size(); }
+  std::size_t b1_size() const { return b1_.size(); }
+  std::size_t b2_size() const { return b2_.size(); }
+
+ private:
+  enum class List { kT1, kT2, kB1, kB2 };
+
+  struct Slot {
+    V value{};
+    List where;
+    typename std::list<K>::iterator pos;
+  };
+
+  std::list<K>& list_of(List w) {
+    switch (w) {
+      case List::kT1: return t1_;
+      case List::kT2: return t2_;
+      case List::kB1: return b1_;
+      case List::kB2: return b2_;
+    }
+    throw std::logic_error("unreachable");
+  }
+
+  void insert_mru(const K& key, List w, V value) {
+    auto& l = list_of(w);
+    l.push_front(key);
+    index_[key] = Slot{std::move(value), w, l.begin()};
+  }
+
+  void move_to(const K& key, Slot& slot, List w) {
+    list_of(slot.where).erase(slot.pos);
+    auto& l = list_of(w);
+    l.push_front(key);
+    slot.where = w;
+    slot.pos = l.begin();
+  }
+
+  void erase_lru(std::list<K>& l, List /*w*/) {
+    index_.erase(l.back());
+    l.pop_back();
+  }
+
+  /// REPLACE from the ARC paper: evict from T1 or T2 into the matching ghost
+  /// list, guided by the recency target p.
+  void replace(bool ghost_hit_in_b2) {
+    if (!t1_.empty() &&
+        (t1_.size() > p_ || (ghost_hit_in_b2 && t1_.size() == p_))) {
+      // Demote T1's LRU to B1.
+      const K victim = t1_.back();
+      auto& slot = index_.find(victim)->second;
+      slot.value = V{};  // ghost entries hold no value
+      move_to(victim, slot, List::kB1);
+      // move_to pushed to front; ghosts keep recency order the same way.
+    } else if (!t2_.empty()) {
+      const K victim = t2_.back();
+      auto& slot = index_.find(victim)->second;
+      slot.value = V{};
+      move_to(victim, slot, List::kB2);
+    } else if (!t1_.empty()) {
+      const K victim = t1_.back();
+      auto& slot = index_.find(victim)->second;
+      slot.value = V{};
+      move_to(victim, slot, List::kB1);
+    }
+  }
+
+  std::size_t c_;
+  std::size_t p_ = 0;  // adaptive target size for T1
+  std::list<K> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<K, Slot> index_;
+};
+
+}  // namespace cityhunter::cache

@@ -1,0 +1,84 @@
+// LFU cache: frequency-based baseline replacement policy.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cityhunter::cache {
+
+/// Fixed-capacity least-frequently-used cache with LRU tie-breaking inside a
+/// frequency class.
+template <typename K, typename V>
+class LfuCache {
+ public:
+  explicit LfuCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("LfuCache: capacity 0");
+  }
+
+  std::optional<V> get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    touch(key, it->second);
+    return it->second.value;
+  }
+
+  void put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      touch(key, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) evict_one();
+    auto& bucket = freq_[1];
+    bucket.push_front(key);
+    map_.emplace(key, Entry{std::move(value), 1, bucket.begin()});
+  }
+
+  bool contains(const K& key) const { return map_.count(key) != 0; }
+
+  /// Current use count of a key (0 if absent).
+  std::size_t frequency(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second.freq;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    V value;
+    std::size_t freq;
+    typename std::list<K>::iterator pos;
+  };
+
+  void touch(const K& key, Entry& e) {
+    auto old_it = freq_.find(e.freq);
+    old_it->second.erase(e.pos);
+    if (old_it->second.empty()) freq_.erase(old_it);
+    ++e.freq;
+    auto& new_bucket = freq_[e.freq];
+    new_bucket.push_front(key);
+    e.pos = new_bucket.begin();
+  }
+
+  void evict_one() {
+    auto fit = freq_.begin();  // lowest frequency class
+    auto& bucket = fit->second;
+    const K victim = bucket.back();  // LRU within the class
+    bucket.pop_back();
+    if (bucket.empty()) freq_.erase(fit);
+    map_.erase(victim);
+  }
+
+  std::size_t capacity_;
+  std::map<std::size_t, std::list<K>> freq_;  // freq -> keys, front = MRU
+  std::unordered_map<K, Entry> map_;
+};
+
+}  // namespace cityhunter::cache

@@ -1,0 +1,62 @@
+// LRU cache: baseline replacement policy.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cityhunter::cache {
+
+/// Fixed-capacity least-recently-used cache. O(1) get/put.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("LruCache: capacity 0");
+  }
+
+  /// Look up and touch (move to MRU). Returns nullopt on miss.
+  std::optional<V> get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Peek without touching recency.
+  std::optional<V> peek(const K& key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second->second;
+  }
+
+  /// Insert or update; evicts the LRU entry when full.
+  void put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      const auto& lru = order_.back();
+      map_.erase(lru.first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  bool contains(const K& key) const { return map_.count(key) != 0; }
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = MRU
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+};
+
+}  // namespace cityhunter::cache

@@ -1,0 +1,60 @@
+// A legitimate access point.
+//
+// Used by the de-authentication ablation (§V-B): venue clients start
+// associated to a real AP and will not probe; the attacker forges deauth
+// frames to force them back into scanning, where it must then *outbid* this
+// AP (stronger RSSI) to lure them. The AP answers probes, authentication and
+// association like any production AP, so re-joins are contested.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "dot11/frame.h"
+#include "medium/medium.h"
+
+namespace cityhunter::client {
+
+class LegitimateAp : public medium::FrameSink {
+ public:
+  struct Config {
+    std::string ssid;
+    dot11::MacAddress bssid;
+    medium::Position pos;
+    bool open = true;
+    std::uint8_t channel = 6;
+    double tx_power_dbm = 17.0;
+  };
+
+  LegitimateAp(medium::Medium& medium, Config cfg);
+  ~LegitimateAp() override;
+
+  LegitimateAp(const LegitimateAp&) = delete;
+  LegitimateAp& operator=(const LegitimateAp&) = delete;
+
+  void start();
+  void stop();
+
+  const std::string& ssid() const { return cfg_.ssid; }
+  const dot11::MacAddress& bssid() const { return cfg_.bssid; }
+  std::size_t associated_count() const { return associated_.size(); }
+  bool is_associated(const dot11::MacAddress& mac) const {
+    return associated_.count(mac) != 0;
+  }
+
+  void on_frame(const dot11::Frame& frame, const medium::RxInfo& info) override;
+
+ private:
+  std::uint16_t next_seq() { return seq_ = (seq_ + 1) & 0x0fff; }
+
+  medium::Medium& medium_;
+  Config cfg_;
+  medium::Radio radio_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::unordered_set<dot11::MacAddress> associated_;
+  std::uint16_t seq_ = 0;
+  std::uint16_t next_aid_ = 1;
+};
+
+}  // namespace cityhunter::client

@@ -1,0 +1,122 @@
+#include "core/buffers.h"
+
+#include <algorithm>
+
+namespace cityhunter::core {
+
+BufferSelector::BufferSelector(BufferSelectorConfig cfg, support::Rng rng)
+    : cfg_(cfg), rng_(std::move(rng)), pb_size_(cfg.initial_pb_size) {
+  pb_size_ = std::clamp(pb_size_, cfg_.min_buffer_size,
+                        cfg_.budget - cfg_.min_buffer_size);
+}
+
+std::vector<const SsidRecord*> BufferSelector::collect(
+    const std::vector<const SsidRecord*>& ranked, std::size_t want,
+    const std::unordered_set<std::string>* already_sent,
+    const std::unordered_set<const SsidRecord*>& used) {
+  std::vector<const SsidRecord*> out;
+  out.reserve(want);
+  for (const auto* rec : ranked) {
+    if (out.size() >= want) break;
+    if (used.count(rec) != 0) continue;
+    if (already_sent != nullptr && already_sent->count(rec->ssid) != 0) {
+      continue;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void BufferSelector::emit_buffer(
+    const std::vector<const SsidRecord*>& candidates, std::size_t main_size,
+    SelectionTag main_tag, SelectionTag ghost_tag,
+    std::vector<SsidChoice>& out) {
+  std::vector<const SsidRecord*> main(
+      candidates.begin(),
+      candidates.begin() + static_cast<long>(
+                               std::min(main_size, candidates.size())));
+  std::vector<const SsidRecord*> ghosts(
+      candidates.begin() + static_cast<long>(main.size()), candidates.end());
+
+  std::size_t picks = 0;
+  if (cfg_.use_ghosts) {
+    picks = std::min({static_cast<std::size_t>(cfg_.ghost_picks),
+                      ghosts.size(), main.size()});
+  }
+  // Replace the lowest-ranked `picks` of the buffer with random ghosts.
+  main.resize(main.size() - picks);
+  for (const auto* rec : main) {
+    out.push_back(SsidChoice{rec->ssid, main_tag, rec->source});
+  }
+  if (picks > 0) {
+    const auto idx = rng_.sample_indices(ghosts.size(), picks);
+    for (const auto i : idx) {
+      out.push_back(SsidChoice{ghosts[i]->ssid, ghost_tag, ghosts[i]->source});
+    }
+  }
+}
+
+std::vector<SsidChoice> BufferSelector::select(
+    const std::vector<const SsidRecord*>& by_weight,
+    const std::vector<const SsidRecord*>& by_freshness,
+    const std::unordered_set<std::string>* already_sent) {
+  const auto budget = static_cast<std::size_t>(cfg_.budget);
+  std::vector<SsidChoice> out;
+  out.reserve(budget);
+  std::unordered_set<const SsidRecord*> used;
+
+  // Popularity buffer first: an SSID that is both popular and fresh belongs
+  // to (and is attributed to) PB; FB captures the fresh-but-not-popular
+  // tail — the companion effect the paper's freshness mechanism targets.
+  const auto pb_target = cfg_.use_freshness
+                             ? static_cast<std::size_t>(pb_size())
+                             : budget;
+  const auto p_cands = collect(
+      by_weight, pb_target + static_cast<std::size_t>(cfg_.ghost_size),
+      already_sent, used);
+  emit_buffer(p_cands, std::min(pb_target, p_cands.size()),
+              SelectionTag::kPopularity, SelectionTag::kPopularityGhost, out);
+  for (const auto* rec : p_cands) used.insert(rec);
+
+  // Freshness buffer fills the remaining budget (all of it when the
+  // popularity side ran out of untried SSIDs).
+  if (cfg_.use_freshness && out.size() < budget) {
+    const std::size_t fresh_want = budget - out.size();
+    const auto f_cands = collect(
+        by_freshness, fresh_want + static_cast<std::size_t>(cfg_.ghost_size),
+        already_sent, used);
+    emit_buffer(f_cands, std::min(fresh_want, f_cands.size()),
+                SelectionTag::kFreshness, SelectionTag::kFreshnessGhost, out);
+    for (const auto* rec : f_cands) used.insert(rec);
+  }
+
+  // Early in a deployment few SSIDs have hit yet: backfill any freshness
+  // deficit with more popularity candidates rather than waste budget.
+  if (out.size() < budget) {
+    std::unordered_set<std::string> chosen;
+    for (const auto& c : out) chosen.insert(c.ssid);
+    for (const auto* rec : by_weight) {
+      if (out.size() >= budget) break;
+      if (chosen.count(rec->ssid) != 0) continue;
+      if (already_sent != nullptr && already_sent->count(rec->ssid) != 0) {
+        continue;
+      }
+      out.push_back(
+          SsidChoice{rec->ssid, SelectionTag::kPopularity, rec->source});
+    }
+  }
+  return out;
+}
+
+void BufferSelector::notify_hit(SelectionTag tag) {
+  if (!cfg_.adaptive) return;
+  const int lo = cfg_.min_buffer_size;
+  const int hi = cfg_.budget - cfg_.min_buffer_size;
+  if (tag == SelectionTag::kPopularityGhost) {
+    pb_size_ = std::min(hi, pb_size_ + 1);
+  } else if (tag == SelectionTag::kFreshnessGhost) {
+    pb_size_ = std::max(lo, pb_size_ - 1);
+  }
+}
+
+}  // namespace cityhunter::core

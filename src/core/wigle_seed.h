@@ -1,0 +1,41 @@
+// Database initialisation from WiGLE (paper §III-B and §IV-B).
+//
+// Two seed sets, both free-AP only:
+//   * the `nearby_count` SSIDs nearest the attack position ("many phones
+//     passing by have connected to the nearby APs");
+//   * the `popular_count` city-wide SSIDs ranked either by AP count (the
+//     preliminary design) or by photo-heat value (the advanced design that
+//     promotes '#HKAirport Free WiFi' into the top ranks, Table IV).
+// Each set gets Barron-Barrett rank weights: best = set size ... worst = 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ssid_db.h"
+#include "heatmap/heatmap.h"
+#include "medium/geometry.h"
+#include "world/wigle.h"
+
+namespace cityhunter::core {
+
+enum class PopularRanking { kHeat, kApCount };
+
+struct WigleSeedConfig {
+  int nearby_count = 100;
+  int popular_count = 200;
+  PopularRanking ranking = PopularRanking::kHeat;
+};
+
+/// Populate `db` from the WiGLE snapshot. `heat` may be null when
+/// `ranking == kApCount`.
+void seed_from_wigle(SsidDatabase& db, const world::WigleDb& wigle,
+                     const heatmap::HeatMap* heat, medium::Position attack_pos,
+                     const WigleSeedConfig& cfg, support::SimTime now);
+
+/// Sec V-B extension: add operator hotspot SSIDs with top-rank weight.
+void seed_carrier_ssids(SsidDatabase& db,
+                        const std::vector<std::string>& carrier_ssids,
+                        double weight, support::SimTime now);
+
+}  // namespace cityhunter::core

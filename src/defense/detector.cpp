@@ -1,0 +1,161 @@
+#include "defense/detector.h"
+
+namespace cityhunter::defense {
+
+using dot11::Frame;
+
+const char* to_string(AlertType t) {
+  switch (t) {
+    case AlertType::kMultiSsidBssid: return "multi-ssid-bssid";
+    case AlertType::kSecurityDowngrade: return "security-downgrade";
+    case AlertType::kForeignTwin: return "foreign-twin";
+    case AlertType::kDeauthForgery: return "deauth-forgery";
+  }
+  return "?";
+}
+
+EvilTwinDetector::EvilTwinDetector(medium::Medium& medium,
+                                   medium::Position pos, std::uint8_t channel,
+                                   Config cfg)
+    : medium_(medium), pos_(pos), channel_(channel), cfg_(std::move(cfg)) {}
+
+EvilTwinDetector::~EvilTwinDetector() { stop(); }
+
+void EvilTwinDetector::start() {
+  if (started_) return;
+  started_ = true;
+  // Passive monitor: never transmits, so TX power is irrelevant.
+  radio_ = medium_.attach(pos_, channel_, 0.0, this);
+}
+
+void EvilTwinDetector::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  medium_.detach(radio_);
+}
+
+std::optional<SimTime> EvilTwinDetector::first_detection(
+    const dot11::MacAddress& bssid) const {
+  for (const auto& a : alerts_) {
+    if (a.bssid == bssid) return a.time;
+  }
+  return std::nullopt;
+}
+
+std::size_t EvilTwinDetector::ssid_count(
+    const dot11::MacAddress& bssid) const {
+  auto it = ssids_by_bssid_.find(bssid);
+  return it == ssids_by_bssid_.end() ? 0 : it->second.size();
+}
+
+void EvilTwinDetector::raise(AlertType type, const dot11::MacAddress& bssid,
+                             const std::string& ssid, SimTime now,
+                             int evidence) {
+  alerts_.push_back(Alert{type, bssid, ssid, now, evidence});
+  flagged_.insert(bssid);
+}
+
+void EvilTwinDetector::observe_advertisement(const dot11::MacAddress& bssid,
+                                             const std::string& ssid,
+                                             bool open, SimTime now) {
+  auto& ssids = ssids_by_bssid_[bssid];
+  const bool inserted = ssids.insert(ssid).second;
+  if (inserted &&
+      ssids.size() > static_cast<std::size_t>(cfg_.max_ssids_per_bssid) &&
+      flagged_.count(bssid) == 0) {
+    raise(AlertType::kMultiSsidBssid, bssid, ssid, now,
+          static_cast<int>(ssids.size()));
+  }
+  if (open && cfg_.known_protected_ssids.count(ssid) != 0 &&
+      downgrade_reported_.insert({bssid, ssid}).second) {
+    raise(AlertType::kSecurityDowngrade, bssid, ssid, now, 1);
+  }
+}
+
+void EvilTwinDetector::on_frame(const Frame& frame,
+                                const medium::RxInfo& info) {
+  if (stopped_) return;
+  switch (frame.subtype()) {
+    case dot11::MgmtSubtype::kProbeResponse: {
+      const auto* body = frame.as<dot11::ProbeResponse>();
+      const auto ssid = body->ies.ssid();
+      if (!ssid || ssid->empty()) return;
+      observe_advertisement(frame.header.addr3, *ssid,
+                            !body->capability.privacy(), info.time);
+      return;
+    }
+    case dot11::MgmtSubtype::kBeacon: {
+      const auto* body = frame.as<dot11::Beacon>();
+      const auto ssid = body->ies.ssid();
+      if (!ssid || ssid->empty()) return;
+      observe_advertisement(frame.header.addr3, *ssid,
+                            !body->capability.privacy(), info.time);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+RogueApMonitor::RogueApMonitor(medium::Medium& medium, medium::Position pos,
+                               std::uint8_t channel, Config cfg)
+    : medium_(medium), pos_(pos), channel_(channel), cfg_(std::move(cfg)) {}
+
+RogueApMonitor::~RogueApMonitor() { stop(); }
+
+void RogueApMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  radio_ = medium_.attach(pos_, channel_, 0.0, this);
+}
+
+void RogueApMonitor::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  medium_.detach(radio_);
+}
+
+void RogueApMonitor::on_frame(const Frame& frame,
+                              const medium::RxInfo& info) {
+  if (stopped_) return;
+  switch (frame.subtype()) {
+    case dot11::MgmtSubtype::kProbeResponse:
+    case dot11::MgmtSubtype::kBeacon: {
+      std::optional<std::string> ssid;
+      if (const auto* pr = frame.as<dot11::ProbeResponse>()) {
+        ssid = pr->ies.ssid();
+      } else if (const auto* b = frame.as<dot11::Beacon>()) {
+        ssid = b->ies.ssid();
+      }
+      if (!ssid) return;
+      const auto& bssid = frame.header.addr3;
+      if (cfg_.operator_ssids.count(*ssid) != 0 &&
+          cfg_.authorized_bssids.count(bssid) == 0 &&
+          reported_twins_.insert(bssid).second) {
+        twin_detected_ = true;
+        alerts_.push_back(
+            Alert{AlertType::kForeignTwin, bssid, *ssid, info.time, 1});
+      }
+      return;
+    }
+    case dot11::MgmtSubtype::kDeauthentication: {
+      // A frame claiming to be from an authorised AP. The monitor is wired
+      // to the real APs' management plane in this model: every over-the-air
+      // deauth in their name that they did not send is a forgery. We use
+      // the count threshold to avoid flagging legitimate single deauths.
+      const auto& claimed = frame.header.addr3;
+      if (cfg_.authorized_bssids.count(claimed) == 0) return;
+      const int n = ++deauth_counts_[claimed];
+      if (n == cfg_.deauth_alarm_threshold) {
+        deauth_forgery_detected_ = true;
+        alerts_.push_back(
+            Alert{AlertType::kDeauthForgery, claimed, "", info.time, n});
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace cityhunter::defense

@@ -1,0 +1,151 @@
+// Countermeasures (paper §VI).
+//
+// The paper closes by noting that existing evil-twin detection still works
+// against City-Hunter. This module implements both deployment models the
+// related-work section cites:
+//
+//   * EvilTwinDetector — a passive client/auditor-side monitor. The KARMA
+//     family has an unmistakable over-the-air signature: one BSSID
+//     advertising many distinct SSIDs (a real AP advertises one or a
+//     handful). A second client-side check catches the security downgrade:
+//     an SSID the client knows as protected being offered open.
+//   * RogueApMonitor — an operator-side monitor with a list of authorised
+//     BSSIDs: flags foreign BSSIDs advertising the operator's SSIDs (evil
+//     twin) and deauthentication frames forged in an authorised BSSID's
+//     name (the §V-B extension's footprint — an AP never deauth-broadcasts
+//     *about itself* through a foreign transmitter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dot11/frame.h"
+#include "medium/medium.h"
+
+namespace cityhunter::defense {
+
+using support::SimTime;
+
+enum class AlertType {
+  kMultiSsidBssid,     // one BSSID advertising too many SSIDs
+  kSecurityDowngrade,  // known-protected SSID offered open
+  kForeignTwin,        // unauthorised BSSID advertising an operator SSID
+  kDeauthForgery,      // deauth traffic in an authorised BSSID's name
+};
+
+const char* to_string(AlertType t);
+
+struct Alert {
+  AlertType type;
+  dot11::MacAddress bssid;
+  std::string ssid;  // offending SSID where applicable
+  SimTime time;
+  /// Evidence magnitude: distinct-SSID count, forged-deauth count, ...
+  int evidence = 0;
+};
+
+/// Passive client-/auditor-side detector.
+class EvilTwinDetector : public medium::FrameSink {
+ public:
+  struct Config {
+    /// Alert when one BSSID has advertised more than this many distinct
+    /// SSIDs. Real multi-SSID APs serve ~4-8; KARMA-family attackers serve
+    /// dozens within seconds.
+    int max_ssids_per_bssid = 8;
+    /// SSIDs this station knows to be protected (its own PNL knowledge):
+    /// seeing them advertised open raises kSecurityDowngrade.
+    std::set<std::string> known_protected_ssids;
+  };
+
+  EvilTwinDetector(medium::Medium& medium, medium::Position pos,
+                   std::uint8_t channel, Config cfg);
+  ~EvilTwinDetector() override;
+
+  EvilTwinDetector(const EvilTwinDetector&) = delete;
+  EvilTwinDetector& operator=(const EvilTwinDetector&) = delete;
+
+  void start();
+  void stop();
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  bool flagged(const dot11::MacAddress& bssid) const {
+    return flagged_.count(bssid) != 0;
+  }
+  /// Time of the first alert against `bssid`, if any.
+  std::optional<SimTime> first_detection(const dot11::MacAddress& bssid) const;
+
+  /// Distinct SSIDs observed from `bssid` so far.
+  std::size_t ssid_count(const dot11::MacAddress& bssid) const;
+
+  // medium::FrameSink
+  void on_frame(const dot11::Frame& frame, const medium::RxInfo& info) override;
+
+ private:
+  void observe_advertisement(const dot11::MacAddress& bssid,
+                             const std::string& ssid, bool open, SimTime now);
+  void raise(AlertType type, const dot11::MacAddress& bssid,
+             const std::string& ssid, SimTime now, int evidence);
+
+  medium::Medium& medium_;
+  medium::Position pos_;
+  std::uint8_t channel_;
+  Config cfg_;
+  medium::Radio radio_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::map<dot11::MacAddress, std::set<std::string>> ssids_by_bssid_;
+  std::set<dot11::MacAddress> flagged_;
+  std::set<std::pair<dot11::MacAddress, std::string>> downgrade_reported_;
+  std::vector<Alert> alerts_;
+};
+
+/// Operator-side monitor with knowledge of the authorised infrastructure.
+class RogueApMonitor : public medium::FrameSink {
+ public:
+  struct Config {
+    /// Authorised BSSIDs and the SSIDs the operator serves.
+    std::set<dot11::MacAddress> authorized_bssids;
+    std::set<std::string> operator_ssids;
+    /// Deauth frames per minute in an authorised BSSID's name before the
+    /// forgery alarm fires (real APs rarely mass-deauth).
+    int deauth_alarm_threshold = 5;
+  };
+
+  RogueApMonitor(medium::Medium& medium, medium::Position pos,
+                 std::uint8_t channel, Config cfg);
+  ~RogueApMonitor() override;
+
+  RogueApMonitor(const RogueApMonitor&) = delete;
+  RogueApMonitor& operator=(const RogueApMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  bool twin_detected() const { return twin_detected_; }
+  bool deauth_forgery_detected() const { return deauth_forgery_detected_; }
+
+  void on_frame(const dot11::Frame& frame, const medium::RxInfo& info) override;
+
+ private:
+  medium::Medium& medium_;
+  medium::Position pos_;
+  std::uint8_t channel_;
+  Config cfg_;
+  medium::Radio radio_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::set<dot11::MacAddress> reported_twins_;
+  std::map<dot11::MacAddress, int> deauth_counts_;
+  bool twin_detected_ = false;
+  bool deauth_forgery_detected_ = false;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace cityhunter::defense

@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial) used for the 802.11 frame check sequence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cityhunter::dot11 {
+
+/// CRC-32 over `data` with the reflected IEEE polynomial 0xEDB88320, initial
+/// value 0xFFFFFFFF and final xor 0xFFFFFFFF — the FCS every 802.11 frame
+/// carries in its last 4 octets.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace cityhunter::dot11

@@ -1,0 +1,108 @@
+#include "dot11/ie.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cityhunter::dot11 {
+
+void IeList::add(ElementId id, std::vector<std::uint8_t> body) {
+  if (body.size() > 255) {
+    throw std::length_error("InformationElement body exceeds 255 octets");
+  }
+  elems_.push_back({id, std::move(body)});
+}
+
+void IeList::add_ssid(std::string_view ssid) {
+  if (ssid.size() > 32) {
+    throw std::length_error("SSID exceeds 32 octets");
+  }
+  std::vector<std::uint8_t> body(ssid.begin(), ssid.end());
+  add(ElementId::kSsid, std::move(body));
+}
+
+void IeList::add_supported_rates(std::span<const double> rates_mbps) {
+  static constexpr double kDefault[] = {1, 2, 5.5, 11, 6, 9, 12, 18};
+  std::span<const double> rates =
+      rates_mbps.empty() ? std::span<const double>(kDefault) : rates_mbps;
+  std::vector<std::uint8_t> body;
+  body.reserve(rates.size());
+  for (const double r : rates) {
+    // Units of 500 kb/s, basic-rate flag (MSB) set.
+    const auto units = static_cast<std::uint8_t>(std::lround(r * 2.0));
+    body.push_back(static_cast<std::uint8_t>(units | 0x80));
+  }
+  add(ElementId::kSupportedRates, std::move(body));
+}
+
+void IeList::add_ds_param(std::uint8_t channel) {
+  add(ElementId::kDsParameterSet, {channel});
+}
+
+void IeList::add_rsn_wpa2_psk() {
+  // RSN version 1, group cipher CCMP, one pairwise cipher CCMP, one AKM PSK,
+  // RSN capabilities 0. OUI 00-0F-AC is the IEEE 802.11 cipher-suite OUI.
+  const std::vector<std::uint8_t> body = {
+      0x01, 0x00,                    // version 1
+      0x00, 0x0F, 0xAC, 0x04,        // group cipher: CCMP-128
+      0x01, 0x00,                    // pairwise count 1
+      0x00, 0x0F, 0xAC, 0x04,        // pairwise: CCMP-128
+      0x01, 0x00,                    // AKM count 1
+      0x00, 0x0F, 0xAC, 0x02,        // AKM: PSK
+      0x00, 0x00,                    // RSN capabilities
+  };
+  add(ElementId::kRsn, body);
+}
+
+const InformationElement* IeList::find(ElementId id) const {
+  for (const auto& e : elems_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> IeList::ssid() const {
+  const auto* e = find(ElementId::kSsid);
+  if (!e) return std::nullopt;
+  return std::string(e->body.begin(), e->body.end());
+}
+
+std::optional<std::uint8_t> IeList::channel() const {
+  const auto* e = find(ElementId::kDsParameterSet);
+  if (!e || e->body.size() != 1) return std::nullopt;
+  return e->body[0];
+}
+
+bool IeList::has_rsn() const { return find(ElementId::kRsn) != nullptr; }
+
+std::size_t IeList::wire_size() const {
+  std::size_t n = 0;
+  for (const auto& e : elems_) n += 2 + e.body.size();
+  return n;
+}
+
+void IeList::serialize_to(std::vector<std::uint8_t>& out) const {
+  for (const auto& e : elems_) {
+    out.push_back(static_cast<std::uint8_t>(e.id));
+    out.push_back(static_cast<std::uint8_t>(e.body.size()));
+    out.insert(out.end(), e.body.begin(), e.body.end());
+  }
+}
+
+std::optional<IeList> IeList::parse(std::span<const std::uint8_t> data) {
+  IeList list;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (i + 2 > data.size()) return std::nullopt;  // truncated header
+    const auto id = static_cast<ElementId>(data[i]);
+    const std::size_t len = data[i + 1];
+    i += 2;
+    if (i + len > data.size()) return std::nullopt;  // truncated body
+    list.elems_.push_back(
+        {id, std::vector<std::uint8_t>(data.begin() + static_cast<long>(i),
+                                       data.begin() + static_cast<long>(i + len))});
+    i += len;
+  }
+  return list;
+}
+
+}  // namespace cityhunter::dot11

@@ -1,0 +1,96 @@
+// 802.11 information elements (IEs): the TLV blobs carried in management
+// frame bodies. We implement the elements the attack traffic actually uses
+// (SSID, supported rates, DS parameter set, RSN) plus a generic container so
+// unknown elements round-trip through parse/serialize untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cityhunter::dot11 {
+
+/// Element IDs from IEEE Std 802.11-2016 Table 9-77 (subset).
+enum class ElementId : std::uint8_t {
+  kSsid = 0,
+  kSupportedRates = 1,
+  kDsParameterSet = 3,
+  kTim = 5,
+  kCountry = 7,
+  kErp = 42,
+  kRsn = 48,
+  kExtendedSupportedRates = 50,
+  kHtCapabilities = 45,
+  kVendorSpecific = 221,
+};
+
+/// One raw TLV element. Body length is limited to 255 by the wire format.
+struct InformationElement {
+  ElementId id{};
+  std::vector<std::uint8_t> body;
+
+  bool operator==(const InformationElement&) const = default;
+};
+
+/// An ordered list of elements, as they appear in a frame body.
+class IeList {
+ public:
+  IeList() = default;
+
+  /// Append a raw element. Throws std::length_error if body > 255 octets.
+  void add(ElementId id, std::vector<std::uint8_t> body);
+
+  /// --- Typed constructors for the elements the simulator uses ---
+
+  /// SSID element. Empty string = wildcard SSID (broadcast probe request).
+  void add_ssid(std::string_view ssid);
+
+  /// Supported rates in units of 500 kb/s, basic-rate bit set on each.
+  /// Default set is 802.11b/g: 1, 2, 5.5, 11, 6, 9, 12, 18 Mb/s.
+  void add_supported_rates(std::span<const double> rates_mbps = {});
+
+  /// DS parameter set (current channel).
+  void add_ds_param(std::uint8_t channel);
+
+  /// Minimal RSN element advertising WPA2-PSK/CCMP. Presence of this element
+  /// marks a protected network; open APs omit it.
+  void add_rsn_wpa2_psk();
+
+  /// --- Accessors ---
+
+  const std::vector<InformationElement>& elements() const { return elems_; }
+  std::size_t size() const { return elems_.size(); }
+  bool empty() const { return elems_.empty(); }
+
+  const InformationElement* find(ElementId id) const;
+
+  /// SSID decoded from the SSID element, if present. The empty string means
+  /// a wildcard SSID.
+  std::optional<std::string> ssid() const;
+
+  std::optional<std::uint8_t> channel() const;
+
+  /// True if an RSN element is present (network is protected).
+  bool has_rsn() const;
+
+  /// --- Wire format ---
+
+  /// Serialized octet length.
+  std::size_t wire_size() const;
+
+  void serialize_to(std::vector<std::uint8_t>& out) const;
+
+  /// Parse elements until the span is exhausted. Returns nullopt on a
+  /// truncated element.
+  static std::optional<IeList> parse(std::span<const std::uint8_t> data);
+
+  bool operator==(const IeList&) const = default;
+
+ private:
+  std::vector<InformationElement> elems_;
+};
+
+}  // namespace cityhunter::dot11

@@ -1,0 +1,60 @@
+#include "dot11/mac_address.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/rng.h"
+
+namespace cityhunter::dot11 {
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const int hi = hex_value(text[static_cast<std::size_t>(i) * 3]);
+    const int lo = hex_value(text[static_cast<std::size_t>(i) * 3 + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    if (i < 5 && text[static_cast<std::size_t>(i) * 3 + 2] != ':') {
+      return std::nullopt;
+    }
+    octets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi * 16 + lo);
+  }
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::random_local(support::Rng& rng) {
+  std::array<std::uint8_t, 6> o{};
+  for (auto& b : o) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  o[0] = static_cast<std::uint8_t>((o[0] | 0x02) & ~0x01);  // local, unicast
+  return MacAddress(o);
+}
+
+MacAddress MacAddress::from_oui(std::array<std::uint8_t, 3> oui,
+                                support::Rng& rng) {
+  std::array<std::uint8_t, 6> o{oui[0], oui[1], oui[2], 0, 0, 0};
+  for (int i = 3; i < 6; ++i) {
+    o[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  o[0] = static_cast<std::uint8_t>(o[0] & ~0x01);  // unicast
+  return MacAddress(o);
+}
+
+std::string MacAddress::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace cityhunter::dot11

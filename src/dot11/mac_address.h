@@ -1,0 +1,74 @@
+// IEEE 802 MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cityhunter::support {
+class Rng;
+}
+
+namespace cityhunter::dot11 {
+
+/// A 48-bit IEEE 802 MAC address with value semantics.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (case-insensitive). Returns nullopt on any
+  /// syntax error.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// The all-ff broadcast address.
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  /// A locally administered, unicast random address (what MAC-randomising
+  /// phones emit while scanning).
+  static MacAddress random_local(support::Rng& rng);
+
+  /// A globally unique unicast address with the given 3-byte OUI.
+  static MacAddress from_oui(std::array<std::uint8_t, 3> oui,
+                             support::Rng& rng);
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+
+  constexpr bool is_broadcast() const {
+    for (const auto o : octets_) {
+      if (o != 0xff) return false;
+    }
+    return true;
+  }
+  constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+  constexpr bool is_locally_administered() const {
+    return (octets_[0] & 0x02) != 0;
+  }
+
+  std::string str() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace cityhunter::dot11
+
+template <>
+struct std::hash<cityhunter::dot11::MacAddress> {
+  std::size_t operator()(const cityhunter::dot11::MacAddress& m) const {
+    std::uint64_t v = 0;
+    for (const auto o : m.octets()) v = (v << 8) | o;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

@@ -1,0 +1,93 @@
+#include "dot11/pcap.h"
+
+#include <stdexcept>
+
+#include "dot11/serialize.h"
+
+namespace cityhunter::dot11 {
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("PcapWriter: cannot open " + path);
+  }
+  put_u32(kMagic);
+  put_u16(2);  // version major
+  put_u16(4);  // version minor
+  put_u32(0);  // thiszone
+  put_u32(0);  // sigfigs
+  put_u32(65535);  // snaplen
+  put_u32(kLinkTypeIeee80211);
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  const char b[2] = {static_cast<char>(v & 0xff),
+                     static_cast<char>((v >> 8) & 0xff)};
+  out_.write(b, 2);
+}
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out_.write(b, 4);
+}
+
+void PcapWriter::write(std::span<const std::uint8_t> frame_bytes,
+                       support::SimTime ts) {
+  const auto us_total = ts.us();
+  put_u32(static_cast<std::uint32_t>(us_total / 1000000));
+  put_u32(static_cast<std::uint32_t>(us_total % 1000000));
+  put_u32(static_cast<std::uint32_t>(frame_bytes.size()));  // incl_len
+  put_u32(static_cast<std::uint32_t>(frame_bytes.size()));  // orig_len
+  out_.write(reinterpret_cast<const char*>(frame_bytes.data()),
+             static_cast<std::streamsize>(frame_bytes.size()));
+  ++frames_;
+}
+
+void PcapWriter::write(const Frame& frame, support::SimTime ts) {
+  write(serialize(frame), ts);
+}
+
+std::optional<std::vector<PcapRecord>> read_pcap(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  auto get_u32 = [&](std::uint32_t& v) -> bool {
+    unsigned char b[4];
+    if (!in.read(reinterpret_cast<char*>(b), 4)) return false;
+    v = static_cast<std::uint32_t>(b[0]) |
+        (static_cast<std::uint32_t>(b[1]) << 8) |
+        (static_cast<std::uint32_t>(b[2]) << 16) |
+        (static_cast<std::uint32_t>(b[3]) << 24);
+    return true;
+  };
+
+  std::uint32_t magic = 0;
+  if (!get_u32(magic) || magic != PcapWriter::kMagic) return std::nullopt;
+  // Skip version (4), thiszone (4), sigfigs (4), snaplen (4).
+  in.seekg(16, std::ios::cur);
+  std::uint32_t linktype = 0;
+  if (!get_u32(linktype) || linktype != PcapWriter::kLinkTypeIeee80211) {
+    return std::nullopt;
+  }
+
+  std::vector<PcapRecord> records;
+  while (true) {
+    std::uint32_t sec = 0, usec = 0, incl = 0, orig = 0;
+    if (!get_u32(sec)) break;  // clean EOF
+    if (!get_u32(usec) || !get_u32(incl) || !get_u32(orig)) {
+      return std::nullopt;  // truncated header
+    }
+    PcapRecord rec;
+    rec.timestamp = support::SimTime::microseconds(
+        static_cast<std::int64_t>(sec) * 1000000 + usec);
+    rec.bytes.resize(incl);
+    if (!in.read(reinterpret_cast<char*>(rec.bytes.data()), incl)) {
+      return std::nullopt;  // truncated body
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace cityhunter::dot11

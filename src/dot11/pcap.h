@@ -1,0 +1,58 @@
+// pcap capture export.
+//
+// Writes simulated traffic in the classic libpcap format with
+// LINKTYPE_IEEE802_11 (105) — the same file a monitor-mode capture of the
+// real attack would produce, loadable in Wireshark/tshark. Useful for
+// eyeballing attack traffic and for feeding external IDS tooling with
+// synthetic evil-twin captures.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dot11/frame.h"
+#include "support/sim_time.h"
+
+namespace cityhunter::dot11 {
+
+/// Streaming pcap writer. Little-endian, microsecond timestamps, link type
+/// 802.11 (no radiotap header).
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header. Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit PcapWriter(const std::string& path);
+
+  /// Append one frame with the given capture timestamp.
+  void write(std::span<const std::uint8_t> frame_bytes, support::SimTime ts);
+  void write(const Frame& frame, support::SimTime ts);
+
+  std::size_t frames_written() const { return frames_; }
+  void flush() { out_.flush(); }
+
+  static constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+  static constexpr std::uint32_t kLinkTypeIeee80211 = 105;
+
+ private:
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+
+  std::ofstream out_;
+  std::size_t frames_ = 0;
+};
+
+/// A parsed pcap record (for tests and offline analysis).
+struct PcapRecord {
+  support::SimTime timestamp;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Read back a pcap file written by PcapWriter. Returns nullopt on a bad
+/// magic/linktype or any truncated record.
+std::optional<std::vector<PcapRecord>> read_pcap(const std::string& path);
+
+}  // namespace cityhunter::dot11

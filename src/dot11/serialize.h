@@ -1,0 +1,29 @@
+// Wire-format serialization for 802.11 management frames.
+//
+// Layout follows IEEE Std 802.11-2016 §9.3.3: little-endian fixed fields,
+// the 3-address MAC header, then the frame body and a CRC-32 FCS. A frame
+// serialized here is byte-for-byte what a monitor-mode injector would emit
+// (modulo radiotap, which is a capture pseudo-header, not part of the frame).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dot11/frame.h"
+
+namespace cityhunter::dot11 {
+
+/// Serialize `frame` including the trailing 4-octet FCS.
+std::vector<std::uint8_t> serialize(const Frame& frame);
+
+/// Serialized length in octets (including FCS) without materialising the
+/// buffer — used by the medium to compute airtime.
+std::size_t wire_size(const Frame& frame);
+
+/// Parse a full frame. Returns nullopt on: truncation, bad FCS, non-mgmt
+/// type, or an unsupported subtype.
+std::optional<Frame> parse(std::span<const std::uint8_t> data);
+
+}  // namespace cityhunter::dot11

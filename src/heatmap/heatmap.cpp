@@ -1,0 +1,120 @@
+#include "heatmap/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cityhunter::heatmap {
+
+HeatMap::HeatMap(const world::PhotoSet& photos, double width_m,
+                 double height_m, double cell_m)
+    : width_m_(width_m), height_m_(height_m), cell_m_(cell_m) {
+  if (width_m <= 0 || height_m <= 0 || cell_m <= 0) {
+    throw std::invalid_argument("HeatMap: non-positive dimensions");
+  }
+  cols_ = static_cast<std::size_t>(std::ceil(width_m / cell_m));
+  rows_ = static_cast<std::size_t>(std::ceil(height_m / cell_m));
+  grid_.assign(cols_ * rows_, 0.0);
+  for (const auto& p : photos.positions()) {
+    if (p.x < 0 || p.y < 0 || p.x >= width_m_ || p.y >= height_m_) continue;
+    const auto c = static_cast<std::size_t>(p.x / cell_m_);
+    const auto r = static_cast<std::size_t>(p.y / cell_m_);
+    grid_[r * cols_ + c] += 1.0;
+  }
+}
+
+double HeatMap::at(Position p) const {
+  if (p.x < 0 || p.y < 0 || p.x >= width_m_ || p.y >= height_m_) return 0.0;
+  const auto c = static_cast<std::size_t>(p.x / cell_m_);
+  const auto r = static_cast<std::size_t>(p.y / cell_m_);
+  return grid_[r * cols_ + c];
+}
+
+double HeatMap::max_cell() const {
+  return grid_.empty() ? 0.0 : *std::max_element(grid_.begin(), grid_.end());
+}
+
+double HeatMap::ssid_heat(const world::WigleDb& wigle,
+                          const std::string& ssid) const {
+  double sum = 0.0;
+  for (const auto& pos : wigle.free_ap_positions(ssid)) {
+    sum += at(pos);
+  }
+  return sum;
+}
+
+std::string HeatMap::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << (c ? "," : "") << grid_[r * cols_ + c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string HeatMap::to_ascii(int max_cols) const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  const std::size_t step =
+      std::max<std::size_t>(1, cols_ / static_cast<std::size_t>(max_cols));
+  const double peak = max_cell();
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; r += step) {
+    for (std::size_t c = 0; c < cols_; c += step) {
+      // Aggregate the step x step block.
+      double v = 0.0;
+      for (std::size_t dr = 0; dr < step && r + dr < rows_; ++dr) {
+        for (std::size_t dc = 0; dc < step && c + dc < cols_; ++dc) {
+          v = std::max(v, grid_[(r + dr) * cols_ + (c + dc)]);
+        }
+      }
+      const int shade =
+          peak > 0 ? static_cast<int>(v / peak * 9.0 + 0.5) : 0;
+      os << kShades[std::clamp(shade, 0, 9)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+std::vector<ScoredSsid> top_k(std::vector<ScoredSsid> scored, std::size_t k) {
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredSsid& a, const ScoredSsid& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.ssid < b.ssid;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+}  // namespace
+
+std::vector<ScoredSsid> top_by_heat(const world::WigleDb& wigle,
+                                    const HeatMap& heat, std::size_t k) {
+  std::vector<ScoredSsid> scored;
+  for (const auto& ssid : wigle.free_ssids()) {
+    scored.push_back({ssid, heat.ssid_heat(wigle, ssid)});
+  }
+  return top_k(std::move(scored), k);
+}
+
+std::vector<ScoredSsid> top_by_ap_count(const world::WigleDb& wigle,
+                                        std::size_t k) {
+  std::vector<ScoredSsid> scored;
+  for (const auto& [ssid, count] : wigle.free_ap_counts()) {
+    scored.push_back({ssid, static_cast<double>(count)});
+  }
+  return top_k(std::move(scored), k);
+}
+
+std::vector<double> rank_weights(std::size_t n) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<double>(n - i);
+  }
+  return w;
+}
+
+}  // namespace cityhunter::heatmap

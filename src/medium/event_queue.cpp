@@ -1,0 +1,39 @@
+#include "medium/event_queue.h"
+
+#include <stdexcept>
+
+namespace cityhunter::medium {
+
+EventHandle EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue: scheduling in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{t, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+void EventQueue::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+  }
+  now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast on the handle —
+  // safe because we pop immediately.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  if (*ev.alive) ev.fn();
+  return true;
+}
+
+}  // namespace cityhunter::medium

@@ -1,0 +1,79 @@
+// Discrete-event simulation core.
+//
+// A single-threaded priority queue of (time, sequence, closure). Sequence
+// numbers make same-time events FIFO, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "support/sim_time.h"
+
+namespace cityhunter::medium {
+
+using support::SimTime;
+
+/// Handle for cancelling a scheduled event. Cheap to copy; cancelling twice
+/// is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  bool valid() const { return alive_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now).
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` from now.
+  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run all events with time <= `until`, advancing now() as they fire.
+  /// now() ends at `until` even if the queue drains earlier.
+  void run_until(SimTime until);
+
+  /// Run until the queue is empty.
+  void run_all();
+
+  /// Execute at most one event; returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace cityhunter::medium

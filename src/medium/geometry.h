@@ -1,0 +1,30 @@
+// 2-D geometry for node placement and mobility (metres).
+#pragma once
+
+#include <cmath>
+
+namespace cityhunter::medium {
+
+struct Position {
+  double x = 0.0;  // metres
+  double y = 0.0;
+
+  bool operator==(const Position&) const = default;
+
+  Position operator+(const Position& o) const { return {x + o.x, y + o.y}; }
+  Position operator-(const Position& o) const { return {x - o.x, y - o.y}; }
+  Position operator*(double k) const { return {x * k, y * k}; }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(const Position& a, const Position& b) {
+  return (a - b).norm();
+}
+
+/// Point on the segment a→b at parameter t in [0,1].
+inline Position lerp(const Position& a, const Position& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+}  // namespace cityhunter::medium

@@ -1,0 +1,142 @@
+#include "medium/medium.h"
+
+#include <stdexcept>
+
+#include "dot11/serialize.h"
+#include "dot11/timing.h"
+
+namespace cityhunter::medium {
+
+Medium::Medium(EventQueue& events) : Medium(events, Config()) {}
+
+Medium::Medium(EventQueue& events, Config cfg)
+    : events_(events), cfg_(cfg), propagation_(cfg.propagation) {}
+
+Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
+                     FrameSink* sink) {
+  const RadioId id = next_id_++;
+  RadioState st;
+  st.pos = pos;
+  st.channel = channel;
+  st.tx_power_dbm = tx_power_dbm;
+  st.sink = sink;
+  st.tx_busy_until = events_.now();
+  radios_.emplace(id, std::move(st));
+  return Radio(this, id);
+}
+
+void Medium::detach(Radio& radio) {
+  radios_.erase(radio.id_);
+  radio.medium_ = nullptr;
+}
+
+Medium::RadioState& Medium::state(RadioId id) {
+  auto it = radios_.find(id);
+  if (it == radios_.end()) {
+    throw std::logic_error("Medium: use of detached radio");
+  }
+  return it->second;
+}
+
+const Medium::RadioState& Medium::state(RadioId id) const {
+  auto it = radios_.find(id);
+  if (it == radios_.end()) {
+    throw std::logic_error("Medium: use of detached radio");
+  }
+  return it->second;
+}
+
+void Medium::transmit(RadioId from, const dot11::Frame& frame) {
+  auto& st = state(from);
+  const std::size_t bytes = dot11::wire_size(frame);
+  const SimTime air =
+      dot11::airtime(bytes, cfg_.mgmt_rate_mbps) * cfg_.contention_factor;
+  const SimTime start = std::max(events_.now(), st.tx_busy_until);
+  const SimTime done = start + air;
+  st.tx_busy_until = done;
+  ++st.tx_backlog;
+  ++transmissions_;
+
+  // Capture everything by value: the sender may move or detach before the
+  // frame lands. Queue epoch lets clear_tx_queue() abort in-flight sends.
+  auto bytes_out = dot11::serialize(frame);
+  const std::uint64_t epoch = st.queue_epoch;
+  const Position tx_pos = st.pos;
+  const double tx_dbm = st.tx_power_dbm;
+  const std::uint8_t channel = st.channel;
+  events_.schedule_at(done, [this, from, epoch, bytes_out = std::move(bytes_out),
+                             channel, tx_pos, tx_dbm] {
+    auto it = radios_.find(from);
+    if (it != radios_.end()) {
+      if (it->second.queue_epoch != epoch) return;  // queue was cleared
+      --it->second.tx_backlog;
+      ++it->second.frames_sent;
+    }
+    deliver(from, bytes_out, channel, tx_pos, tx_dbm);
+  });
+}
+
+void Medium::deliver(RadioId from, const std::vector<std::uint8_t>& bytes,
+                     std::uint8_t channel, Position tx_pos,
+                     double tx_power_dbm) {
+  const auto frame = dot11::parse(bytes);
+  if (!frame) return;  // corrupted on the wire — cannot happen here, but a
+                       // real receiver drops bad-FCS frames silently
+
+  // Snapshot receiver ids first: a sink callback may attach/detach radios.
+  std::vector<RadioId> targets;
+  targets.reserve(radios_.size());
+  for (const auto& [id, st] : radios_) {
+    if (id == from || st.channel != channel || st.sink == nullptr) continue;
+    targets.push_back(id);
+  }
+  for (const RadioId id : targets) {
+    auto it = radios_.find(id);
+    if (it == radios_.end()) continue;  // detached by an earlier callback
+    auto& st = it->second;
+    const double d = distance(tx_pos, st.pos);
+    if (!propagation_.deliverable(tx_power_dbm, d)) continue;
+    RxInfo info;
+    info.rssi_dbm = propagation_.rx_power_dbm(tx_power_dbm, d);
+    info.time = events_.now();
+    info.channel = channel;
+    ++st.frames_received;
+    ++deliveries_;
+    FrameSink* sink = st.sink;
+    sink->on_frame(*frame, info);
+  }
+}
+
+// --- Radio handle methods ---
+
+Position Radio::position() const { return medium_->state(id_).pos; }
+void Radio::set_position(Position p) { medium_->state(id_).pos = p; }
+std::uint8_t Radio::channel() const { return medium_->state(id_).channel; }
+void Radio::set_channel(std::uint8_t ch) { medium_->state(id_).channel = ch; }
+double Radio::tx_power_dbm() const { return medium_->state(id_).tx_power_dbm; }
+void Radio::set_tx_power_dbm(double dbm) {
+  medium_->state(id_).tx_power_dbm = dbm;
+}
+void Radio::set_sink(FrameSink* sink) { medium_->state(id_).sink = sink; }
+
+void Radio::transmit(const dot11::Frame& frame) {
+  medium_->transmit(id_, frame);
+}
+
+std::size_t Radio::tx_backlog() const { return medium_->state(id_).tx_backlog; }
+
+void Radio::clear_tx_queue() {
+  auto& st = medium_->state(id_);
+  ++st.queue_epoch;
+  st.tx_backlog = 0;
+  st.tx_busy_until = medium_->events_.now();
+}
+
+std::uint64_t Radio::frames_sent() const {
+  return medium_->state(id_).frames_sent;
+}
+std::uint64_t Radio::frames_received() const {
+  return medium_->state(id_).frames_received;
+}
+
+}  // namespace cityhunter::medium

@@ -1,0 +1,85 @@
+// The simulated wireless medium.
+//
+// Replaces the monitor-mode NIC + real airspace of the paper's testbed.
+// Frames are serialized to wire bytes on transmit and parsed on delivery, so
+// the dot11 codec is on the hot path of every simulation — an attacker can
+// only act on information that survives the actual 802.11 wire format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dot11/frame.h"
+#include "medium/event_queue.h"
+#include "medium/geometry.h"
+#include "medium/propagation.h"
+#include "medium/radio.h"
+
+namespace cityhunter::medium {
+
+class Medium {
+ public:
+  struct Config {
+    LogDistancePathLoss::Config propagation{};
+    /// Effective airtime multiplier for channel contention: 2.0 means half
+    /// the channel is consumed by other traffic, which turns the 20 ms scan
+    /// listen window into the paper's 40-response budget (20 ms / (0.25 ms
+    /// * 2) = 40).
+    double contention_factor = 2.0;
+    /// Management frame rate used for airtime computation.
+    double mgmt_rate_mbps = 11.0;
+  };
+
+  explicit Medium(EventQueue& events);
+  Medium(EventQueue& events, Config cfg);
+
+  /// Create a radio at `pos` on `channel` with `tx_power_dbm`.
+  Radio attach(Position pos, std::uint8_t channel, double tx_power_dbm,
+               FrameSink* sink = nullptr);
+
+  /// Remove a radio; its handle becomes invalid and queued frames are
+  /// dropped.
+  void detach(Radio& radio);
+
+  EventQueue& events() { return events_; }
+  const Config& config() const { return cfg_; }
+  const LogDistancePathLoss& propagation() const { return propagation_; }
+
+  /// Total frames ever delivered (for tests/benches).
+  std::uint64_t deliveries() const { return deliveries_; }
+  std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  friend class Radio;
+
+  struct RadioState {
+    Position pos;
+    std::uint8_t channel = 1;
+    double tx_power_dbm = 0.0;
+    FrameSink* sink = nullptr;
+    SimTime tx_busy_until;
+    std::uint64_t queue_epoch = 0;  // bumped by clear_tx_queue()
+    std::size_t tx_backlog = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+  };
+
+  RadioState& state(RadioId id);
+  const RadioState& state(RadioId id) const;
+
+  void transmit(RadioId from, const dot11::Frame& frame);
+  void deliver(RadioId from, const std::vector<std::uint8_t>& bytes,
+               std::uint8_t channel, Position tx_pos, double tx_power_dbm);
+
+  EventQueue& events_;
+  Config cfg_;
+  LogDistancePathLoss propagation_;
+  RadioId next_id_ = 1;
+  std::map<RadioId, RadioState> radios_;  // ordered for deterministic fanout
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace cityhunter::medium

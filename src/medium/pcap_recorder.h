@@ -1,0 +1,26 @@
+// Passive monitor sink that serializes every frame it hears into a pcap
+// file — attach one radio, point it at a path, open the result in Wireshark.
+#pragma once
+
+#include <string>
+
+#include "dot11/pcap.h"
+#include "medium/radio.h"
+
+namespace cityhunter::medium {
+
+class PcapRecorder : public FrameSink {
+ public:
+  explicit PcapRecorder(const std::string& path) : writer_(path) {}
+
+  void on_frame(const dot11::Frame& frame, const RxInfo& info) override {
+    writer_.write(frame, info.time);
+  }
+
+  dot11::PcapWriter& writer() { return writer_; }
+
+ private:
+  dot11::PcapWriter writer_;
+};
+
+}  // namespace cityhunter::medium

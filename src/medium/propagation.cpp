@@ -1,0 +1,25 @@
+#include "medium/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cityhunter::medium {
+
+double LogDistancePathLoss::rx_power_dbm(double tx_power_dbm, double d) const {
+  const double dist = std::max(d, 1.0);  // clamp inside reference distance
+  const double pl =
+      cfg_.reference_loss_db + 10.0 * cfg_.exponent * std::log10(dist);
+  return tx_power_dbm - pl;
+}
+
+double LogDistancePathLoss::max_range(double tx_power_dbm) const {
+  // Solve rx_power(d) = sensitivity for d.
+  const double budget_db =
+      tx_power_dbm - cfg_.reference_loss_db - cfg_.rx_sensitivity_dbm;
+  if (budget_db <= 0.0) return 1.0;
+  return std::pow(10.0, budget_db / (10.0 * cfg_.exponent));
+}
+
+double dbm_from_milliwatts(double mw) { return 10.0 * std::log10(mw); }
+
+}  // namespace cityhunter::medium

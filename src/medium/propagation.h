@@ -1,0 +1,47 @@
+// Radio propagation: log-distance path loss.
+#pragma once
+
+#include "medium/geometry.h"
+
+namespace cityhunter::medium {
+
+/// Log-distance path-loss model:
+///   PL(d) = PL(d0) + 10 n log10(d / d0)
+/// with d0 = 1 m. Defaults approximate 2.4 GHz indoor-open propagation: the
+/// paper's Raspberry Pi attacker transmits at 100 mW (20 dBm) and reaches
+/// clients within a few tens of metres.
+class LogDistancePathLoss {
+ public:
+  struct Config {
+    double reference_loss_db = 40.0;  // PL at 1 m, 2.4 GHz
+    /// Crowded indoor environments (bodies absorb 2.4 GHz): with 20 dBm TX
+    /// and -84 dBm sensitivity this yields ~60 m of usable range, matching
+    /// a Raspberry Pi attacker in a packed passage.
+    double exponent = 3.6;
+    double rx_sensitivity_dbm = -84.0;
+  };
+
+  LogDistancePathLoss() : cfg_(Config()) {}
+  explicit LogDistancePathLoss(Config cfg) : cfg_(cfg) {}
+
+  /// Received power at distance `d` metres for `tx_power_dbm`.
+  double rx_power_dbm(double tx_power_dbm, double d) const;
+
+  /// Whether a frame sent at `tx_power_dbm` is decodable at distance `d`.
+  bool deliverable(double tx_power_dbm, double d) const {
+    return rx_power_dbm(tx_power_dbm, d) >= cfg_.rx_sensitivity_dbm;
+  }
+
+  /// Maximum decodable distance for `tx_power_dbm`.
+  double max_range(double tx_power_dbm) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+/// dBm for a milliwatt power (100 mW -> 20 dBm), the unit the paper quotes.
+double dbm_from_milliwatts(double mw);
+
+}  // namespace cityhunter::medium

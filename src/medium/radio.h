@@ -1,0 +1,73 @@
+// Radio endpoints attached to the simulated medium.
+#pragma once
+
+#include <cstdint>
+
+#include "dot11/frame.h"
+#include "medium/geometry.h"
+#include "support/sim_time.h"
+
+namespace cityhunter::medium {
+
+using support::SimTime;
+
+/// Per-frame reception metadata (what a radiotap header would carry).
+struct RxInfo {
+  double rssi_dbm = 0.0;
+  SimTime time;
+  std::uint8_t channel = 1;
+};
+
+/// Receiver callback. The medium delivers *every* decodable frame on the
+/// radio's channel (monitor-mode semantics); non-promiscuous consumers filter
+/// on addr1 themselves, exactly as a NIC would.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void on_frame(const dot11::Frame& frame, const RxInfo& info) = 0;
+};
+
+using RadioId = std::uint64_t;
+
+class Medium;
+
+/// Lightweight handle to a radio owned by the Medium. Copyable; all state
+/// lives in the Medium so handles stay valid until detach().
+class Radio {
+ public:
+  Radio() = default;
+
+  RadioId id() const { return id_; }
+  bool valid() const { return medium_ != nullptr; }
+
+  Position position() const;
+  void set_position(Position p);
+  std::uint8_t channel() const;
+  void set_channel(std::uint8_t ch);
+  double tx_power_dbm() const;
+  void set_tx_power_dbm(double dbm);
+  void set_sink(FrameSink* sink);
+
+  /// Enqueue a frame for transmission. Transmissions from one radio are
+  /// serialized: each occupies the air for its airtime (scaled by the
+  /// medium's contention factor) before the next may start.
+  void transmit(const dot11::Frame& frame);
+
+  /// Frames waiting in this radio's transmit queue (including in flight).
+  std::size_t tx_backlog() const;
+
+  /// Drop all queued-but-unsent frames (e.g. the probed client moved away —
+  /// the attacker aborts the response train).
+  void clear_tx_queue();
+
+  std::uint64_t frames_sent() const;
+  std::uint64_t frames_received() const;
+
+ private:
+  friend class Medium;
+  Radio(Medium* medium, RadioId id) : medium_(medium), id_(id) {}
+  Medium* medium_ = nullptr;
+  RadioId id_ = 0;
+};
+
+}  // namespace cityhunter::medium

@@ -1,0 +1,100 @@
+#include "mobility/venue.h"
+
+namespace cityhunter::mobility {
+
+VenueConfig subway_passage_venue() {
+  VenueConfig v;
+  v.name = "subway-passage";
+  v.pattern = MobilityPattern::kFlow;
+  v.extent_m = 180.0;
+  v.width_m = 8.0;
+  v.mean_speed_mps = 1.35;
+  v.speed_sd_mps = 0.25;
+  v.mean_scan_interval_s = 55.0;  // walking commuters scan often
+  v.group_fraction = 0.25;
+  v.venue_ssids = {"MTR Free Wi-Fi"};
+  v.venue_regular_prob = 0.15;
+  // Two commuting rushes (8-9am, 6-7pm), echoing Fig 5(a).
+  v.hourly_clients = {2550, 1450, 1000, 900, 1100, 1000,
+                      900, 950, 1100, 1500, 2300, 1400};
+  v.hourly_group_fraction = {0.45, 0.3, 0.25, 0.25, 0.3, 0.3,
+                             0.25, 0.25, 0.3, 0.35, 0.45, 0.35};
+  return v;
+}
+
+VenueConfig canteen_venue() {
+  VenueConfig v;
+  v.name = "canteen";
+  v.pattern = MobilityPattern::kStatic;
+  v.extent_m = 60.0;
+  v.width_m = 40.0;
+  v.mean_dwell_min = 24.0;
+  v.dwell_sigma = 0.40;
+  v.mean_scan_interval_s = 120.0;  // phones resting on the table
+  v.group_fraction = 0.45;
+  v.venue_ssids = {"Canteen-Free-WiFi", "CampusNet-Open"};
+  v.venue_regular_prob = 0.22;
+  // Three meal peaks, echoing Fig 5(b).
+  v.hourly_clients = {800, 320, 260, 520, 1280, 980,
+                      360, 300, 320, 520, 1150, 720};
+  v.hourly_group_fraction = {0.5, 0.35, 0.35, 0.4, 0.55, 0.5,
+                             0.35, 0.35, 0.35, 0.4, 0.55, 0.45};
+  return v;
+}
+
+VenueConfig shopping_center_venue() {
+  VenueConfig v;
+  v.name = "shopping-center";
+  v.pattern = MobilityPattern::kHybrid;
+  v.extent_m = 140.0;
+  v.width_m = 30.0;
+  v.mean_dwell_min = 14.0;
+  v.dwell_sigma = 0.5;
+  v.mean_speed_mps = 1.0;
+  v.speed_sd_mps = 0.3;
+  v.hybrid_static_fraction = 0.45;
+  v.mean_scan_interval_s = 75.0;
+  v.group_fraction = 0.4;
+  v.venue_ssids = {"HarbourMall-Guest"};
+  v.venue_regular_prob = 0.20;
+  // Afternoon/evening ramp, echoing Fig 5(c).
+  v.hourly_clients = {220, 360, 620, 820, 1020, 1020,
+                      960, 1000, 1100, 1200, 1300, 1100};
+  v.hourly_group_fraction = {0.3, 0.3, 0.35, 0.4, 0.45, 0.45,
+                             0.4, 0.4, 0.4, 0.45, 0.5, 0.45};
+  return v;
+}
+
+VenueConfig railway_station_venue() {
+  VenueConfig v;
+  v.name = "railway-station";
+  v.pattern = MobilityPattern::kHybrid;
+  v.extent_m = 160.0;
+  v.width_m = 40.0;
+  v.mean_dwell_min = 9.0;  // waiting for a train
+  v.dwell_sigma = 0.5;
+  v.mean_speed_mps = 1.3;
+  v.speed_sd_mps = 0.25;
+  v.hybrid_static_fraction = 0.55;
+  v.mean_scan_interval_s = 75.0;
+  v.group_fraction = 0.35;
+  v.venue_ssids = {"RailwayStation-Free"};
+  v.venue_regular_prob = 0.25;
+  // High all day with commuting bumps, echoing Fig 5(d).
+  v.hourly_clients = {2000, 1400, 1150, 1100, 1250, 1200,
+                      1100, 1150, 1300, 1800, 2100, 1350};
+  v.hourly_group_fraction = {0.45, 0.35, 0.3, 0.3, 0.35, 0.35,
+                             0.3, 0.3, 0.35, 0.4, 0.5, 0.4};
+  return v;
+}
+
+std::string slot_label(int slot) {
+  static const char* kLabels[12] = {
+      "8am-9am",  "9am-10am", "10am-11am", "11am-12pm",
+      "12pm-1pm", "1pm-2pm",  "2pm-3pm",   "3pm-4pm",
+      "4pm-5pm",  "5pm-6pm",  "6pm-7pm",   "7pm-8pm"};
+  if (slot < 0 || slot >= 12) return "?";
+  return kLabels[slot];
+}
+
+}  // namespace cityhunter::mobility

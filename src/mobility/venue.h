@@ -1,0 +1,79 @@
+// Venue models (paper §V-A).
+//
+// Four deployment sites with distinct mobility patterns:
+//   * subway passage — everyone walks through at commuting speed (flow);
+//   * canteen — people sit for a meal (static);
+//   * shopping centre / railway station — a mixture (hybrid).
+// The venue defines geometry and motion; per-hour client volumes and group
+// fractions are per-slot parameters so a full 8am-8pm day (Fig 5) can be
+// composed of twelve 1-hour tests, each with a freshly initialised attacker
+// database, exactly as the paper ran them.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "medium/geometry.h"
+
+namespace cityhunter::mobility {
+
+using medium::Position;
+
+enum class MobilityPattern { kStatic, kFlow, kHybrid };
+
+struct VenueConfig {
+  std::string name;
+  MobilityPattern pattern = MobilityPattern::kStatic;
+
+  /// Length of the walkable area along x, centred on the attacker.
+  double extent_m = 160.0;
+  /// Lateral width (seating area radius for static venues, corridor width
+  /// for flow venues).
+  double width_m = 20.0;
+
+  /// Static dwell time: lognormal with this mean (minutes) and sigma.
+  double mean_dwell_min = 22.0;
+  double dwell_sigma = 0.45;
+
+  /// Flow walking speed (m/s), truncated normal.
+  double mean_speed_mps = 1.3;
+  double speed_sd_mps = 0.25;
+
+  /// Hybrid: fraction of arrivals that behave statically.
+  double hybrid_static_fraction = 0.45;
+
+  /// Mean scan interval for devices at this venue, in seconds. Phones scan
+  /// much more often while moving (motion and screen-on trigger scans) than
+  /// when sitting in a pocket at a table. <= 0 uses the scenario default.
+  double mean_scan_interval_s = -1.0;
+
+  /// Fraction of arrivals that come as social groups, and the size weights
+  /// for groups of 2, 3 and 4.
+  double group_fraction = 0.35;
+  std::array<double, 3> group_size_weights{0.6, 0.3, 0.1};
+
+  /// Venue-local SSIDs regulars may have stored, and the probability a
+  /// visitor is such a regular.
+  std::vector<std::string> venue_ssids;
+  double venue_regular_prob = 0.15;
+
+  /// 8am..8pm hourly expected client counts (12 slots) for full-day runs.
+  std::array<double, 12> hourly_clients{};
+  /// Per-slot group fraction override (rush hours see more groups); values
+  /// <= 0 fall back to `group_fraction`.
+  std::array<double, 12> hourly_group_fraction{};
+};
+
+/// Paper-shaped presets. Client volumes echo Fig 5: the passage peaks at the
+/// two commuting rushes, the canteen at the three mealtimes, the mall ramps
+/// through the afternoon and the railway station stays high with rush bumps.
+VenueConfig subway_passage_venue();
+VenueConfig canteen_venue();
+VenueConfig shopping_center_venue();
+VenueConfig railway_station_venue();
+
+/// Slot labels "8am-9am" .. "7pm-8pm".
+std::string slot_label(int slot);
+
+}  // namespace cityhunter::mobility

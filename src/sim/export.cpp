@@ -1,0 +1,44 @@
+#include "sim/export.h"
+
+#include <sstream>
+
+namespace cityhunter::sim {
+
+std::string results_csv(const std::vector<stats::CampaignResult>& results) {
+  std::ostringstream os;
+  os << "label,total,direct,broadcast,direct_connected,broadcast_connected,"
+        "h,h_b,hits_wigle,hits_direct_db,hits_carrier,hits_popularity,"
+        "hits_freshness\n";
+  for (const auto& r : results) {
+    // Quote the label; our labels never contain quotes.
+    os << '"' << r.label << '"' << ',' << r.total_clients << ','
+       << r.direct_clients << ',' << r.broadcast_clients << ','
+       << r.direct_connected << ',' << r.broadcast_connected << ',' << r.h()
+       << ',' << r.h_b() << ',' << r.hits_from_wigle << ','
+       << r.hits_from_direct_db << ',' << r.hits_from_carrier_seed << ','
+       << r.hits_via_popularity << ',' << r.hits_via_freshness << '\n';
+  }
+  return os.str();
+}
+
+std::string series_csv(const std::vector<SeriesPoint>& series) {
+  std::ostringstream os;
+  os << "minutes,db_size,broadcast_connected\n";
+  for (const auto& p : series) {
+    os << p.time.min() << ',' << p.db_size << ',' << p.broadcast_connected
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string windows_csv(const std::vector<stats::WindowRate>& windows) {
+  std::ostringstream os;
+  os << "window_start_min,clients,rate\n";
+  for (const auto& w : windows) {
+    os << w.start.min() << ',' << w.broadcast_clients << ',' << w.rate()
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cityhunter::sim

@@ -1,0 +1,25 @@
+// Machine-readable exports of campaign results (CSV) for plotting and
+// downstream analysis pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace cityhunter::sim {
+
+/// One CSV row per CampaignResult with a fixed header:
+/// label,total,direct,broadcast,direct_connected,broadcast_connected,
+/// h,h_b,hits_wigle,hits_direct_db,hits_carrier,hits_popularity,
+/// hits_freshness
+std::string results_csv(const std::vector<stats::CampaignResult>& results);
+
+/// Time-series CSV for Fig-1-style plots:
+/// minutes,db_size,broadcast_connected
+std::string series_csv(const std::vector<SeriesPoint>& series);
+
+/// Windowed-rate CSV for h_b^r plots: window_start_min,clients,rate
+std::string windows_csv(const std::vector<stats::WindowRate>& windows);
+
+}  // namespace cityhunter::sim

@@ -1,0 +1,243 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cityhunter::sim {
+
+namespace {
+
+/// Venue APs appended to the generated population so the nearest-WiGLE seed
+/// can discover them (they are real networks of the city, after all).
+struct VenueSite {
+  const char* name;
+  medium::Position pos;
+  std::vector<std::string> ssids;
+};
+
+std::vector<VenueSite> venue_sites() {
+  return {
+      {"subway-passage", {5300, 4600}, {"MTR Free Wi-Fi"}},
+      {"canteen", {4100, 6200}, {"Canteen-Free-WiFi", "CampusNet-Open"}},
+      {"shopping-center", {6200, 4100}, {"HarbourMall-Guest"}},
+      {"railway-station", {3300, 7400}, {"RailwayStation-Free"}},
+  };
+}
+
+}  // namespace
+
+medium::Position venue_city_position(const std::string& venue_name) {
+  for (const auto& site : venue_sites()) {
+    if (venue_name == site.name) return site.pos;
+  }
+  return {5000, 5000};  // city centre fallback
+}
+
+const char* to_string(AttackerKind k) {
+  switch (k) {
+    case AttackerKind::kKarma: return "KARMA";
+    case AttackerKind::kMana: return "MANA";
+    case AttackerKind::kPrelim: return "City-Hunter (prelim)";
+    case AttackerKind::kCityHunter: return "City-Hunter";
+  }
+  return "?";
+}
+
+World::World(ScenarioConfig cfg)
+    : cfg_(std::move(cfg)),
+      city_(cfg_.city),
+      aps_([&] {
+        Rng rng(cfg_.seed);
+        auto rng_aps = rng.fork("aps");
+        auto aps = world::generate_aps(city_, rng_aps, cfg_.aps);
+        // Venue-local APs: a few open APs per venue SSID around the site.
+        auto rng_venues = rng.fork("venue-aps");
+        for (const auto& site : venue_sites()) {
+          for (const auto& ssid : site.ssids) {
+            for (int i = 0; i < 3; ++i) {
+              world::AccessPointInfo ap;
+              ap.ssid = ssid;
+              ap.bssid = dot11::MacAddress::random_local(rng_venues);
+              ap.pos = {site.pos.x + rng_venues.uniform(-40, 40),
+                        site.pos.y + rng_venues.uniform(-40, 40)};
+              ap.open = true;
+              ap.channel = 6;
+              ap.category = world::ApCategory::kVenueLocal;
+              aps.push_back(std::move(ap));
+            }
+          }
+        }
+        return aps;
+      }()),
+      wigle_([&] {
+        Rng rng(cfg_.seed);
+        auto rng_wigle = rng.fork("wigle");
+        return world::WigleDb::snapshot(aps_, rng_wigle, cfg_.wigle_coverage);
+      }()),
+      photos_([&] {
+        Rng rng(cfg_.seed);
+        auto rng_photos = rng.fork("photos");
+        return world::PhotoSet::generate(city_, rng_photos, cfg_.photos);
+      }()),
+      heat_(photos_, city_.width(), city_.height()),
+      pnl_(city_, aps_, cfg_.pnl) {}
+
+std::vector<std::string> World::local_public_ssids(medium::Position pos,
+                                                   double radius_m) const {
+  std::map<std::string, double> propensity;
+  for (const auto& ap : aps_) {
+    if (!ap.open) continue;
+    if (ap.category == world::ApCategory::kResidential ||
+        ap.category == world::ApCategory::kCarrier) {
+      continue;
+    }
+    if (medium::distance(ap.pos, pos) > radius_m) continue;
+    propensity[ap.ssid] += city_.density(ap.pos);
+  }
+  std::vector<std::pair<std::string, double>> ranked(propensity.begin(),
+                                                     propensity.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& [ssid, w] : ranked) out.push_back(std::move(ssid));
+  return out;
+}
+
+RunOutput run_campaign(World& world, const RunConfig& cfg) {
+  Rng rng(world.config().seed ^ (cfg.run_seed * 0x9e3779b97f4a7c15ULL));
+
+  medium::EventQueue events;
+  medium::Medium medium(events, world.config().medium);
+
+  // Attacker at the local origin of the venue frame.
+  core::Attacker::BaseConfig base;
+  base.bssid = *dot11::MacAddress::parse("0a:7e:64:c1:7e:01");
+  base.pos = {0, 0};
+  base.channel = 6;
+  base.tx_power_dbm = 20.0;  // 100 mW
+
+  const auto attack_city_pos = venue_city_position(cfg.venue.name);
+
+  std::unique_ptr<core::Attacker> attacker;
+  core::CityHunter* hunter = nullptr;
+  switch (cfg.kind) {
+    case AttackerKind::kKarma:
+      attacker = std::make_unique<core::KarmaAttacker>(medium, base);
+      break;
+    case AttackerKind::kMana: {
+      auto mana_cfg = cfg.mana;
+      mana_cfg.base = base;
+      attacker = std::make_unique<core::ManaAttacker>(medium, mana_cfg);
+      break;
+    }
+    case AttackerKind::kPrelim: {
+      core::CityHunterPrelim::Config pc;
+      pc.base = base;
+      attacker = std::make_unique<core::CityHunterPrelim>(medium, pc);
+      auto seed_cfg = cfg.wigle_seed;
+      seed_cfg.ranking = core::PopularRanking::kApCount;  // §III design
+      core::seed_from_wigle(attacker->database(), world.wigle(), nullptr,
+                            attack_city_pos, seed_cfg, events.now());
+      break;
+    }
+    case AttackerKind::kCityHunter: {
+      auto ch_cfg = cfg.cityhunter;
+      ch_cfg.base = base;
+      auto ch = std::make_unique<core::CityHunter>(medium, ch_cfg,
+                                                   rng.fork("selector"));
+      hunter = ch.get();
+      attacker = std::move(ch);
+      core::seed_from_wigle(attacker->database(), world.wigle(),
+                            &world.heat(), attack_city_pos, cfg.wigle_seed,
+                            events.now());
+      break;
+    }
+  }
+  if (cfg.initial_database) {
+    attacker->database() = *cfg.initial_database;
+  }
+  if (cfg.seed_carrier_ssids) {
+    core::seed_carrier_ssids(
+        attacker->database(), {"PCCW1x", "Y5ZONE", "CMCC-AUTO"},
+        static_cast<double>(cfg.wigle_seed.popular_count), events.now());
+  }
+  attacker->start();
+
+  // Optional §V-B deauth setup: a legitimate venue AP holding pre-associated
+  // clients, and the attacker forging deauths in its name.
+  std::unique_ptr<client::LegitimateAp> legit_ap;
+  std::unique_ptr<core::DeauthModule> deauth;
+  mobility::SlotParams slot = cfg.slot;
+  if (cfg.deauth) {
+    client::LegitimateAp::Config ap_cfg;
+    ap_cfg.ssid = cfg.venue.venue_ssids.empty() ? "Venue-WiFi"
+                                                : cfg.venue.venue_ssids[0];
+    ap_cfg.bssid = *dot11::MacAddress::parse("02:13:37:00:00:01");
+    ap_cfg.pos = {25, 10};  // across the hall from the attacker
+    ap_cfg.open = true;
+    ap_cfg.channel = 6;
+    legit_ap = std::make_unique<client::LegitimateAp>(medium, ap_cfg);
+    legit_ap->start();
+    slot.pre_associated_fraction = cfg.deauth->pre_associated_fraction;
+    slot.legit_ap = ap_cfg.bssid;
+    if (cfg.deauth->enable_deauth) {
+      core::DeauthModule::Config dm;
+      dm.target_bssids = {ap_cfg.bssid};
+      dm.interval = cfg.deauth->interval;
+      deauth = std::make_unique<core::DeauthModule>(medium, attacker->radio(),
+                                                    dm);
+      deauth->start();
+    }
+  }
+
+  // People found at this venue carry locally flavoured PNLs.
+  world::Locale locale;
+  locale.ranked_ssids = world.local_public_ssids(attack_city_pos, 500.0);
+  locale.bias = 0.45;
+  world.pnl_model().set_locale(std::move(locale));
+
+  auto phone_cfg = world.config().phone;
+  if (cfg.venue.mean_scan_interval_s > 0) {
+    phone_cfg.mean_scan_interval =
+        support::SimTime::seconds(cfg.venue.mean_scan_interval_s);
+  }
+  mobility::VenuePopulation population(medium, world.pnl_model(), cfg.venue,
+                                       phone_cfg, rng.fork("population"));
+  population.schedule_slot(cfg.duration, slot);
+
+  RunOutput out;
+  if (cfg.sample_every) {
+    const auto interval = *cfg.sample_every;
+    for (SimTime t = interval; t <= cfg.duration; t += interval) {
+      events.schedule_at(t, [&out, &events, a = attacker.get()] {
+        std::size_t connected_broadcast = 0;
+        for (const auto& [mac, c] : a->clients()) {
+          if (!c.direct_prober && c.connected) ++connected_broadcast;
+        }
+        out.series.push_back(SeriesPoint{events.now(), a->database().size(),
+                                         connected_broadcast});
+      });
+    }
+  }
+
+  events.run_until(cfg.duration);
+
+  out.result = stats::analyze(*attacker, to_string(cfg.kind));
+  out.window_rates =
+      stats::realtime_hb(*attacker, SimTime::minutes(2), cfg.duration);
+  out.db_final_size = attacker->database().size();
+  out.db_from_direct =
+      attacker->database().count_from(core::SsidSource::kDirectProbe);
+  if (hunter != nullptr) {
+    out.final_pb_size = hunter->selector().pb_size();
+    out.final_fb_size = hunter->selector().fb_size();
+  }
+  if (deauth) out.deauths_sent = deauth->deauths_sent();
+  out.database = attacker->database();
+  return out;
+}
+
+}  // namespace cityhunter::sim

@@ -1,0 +1,138 @@
+// Scenario wiring: one World (city + APs + WiGLE + photos + heat map + PNL
+// model) shared by many campaign runs, and a run_campaign() driver that
+// deploys an attacker in a venue for one test slot, exactly as the paper
+// deployed its Raspberry Pi.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/legit_ap.h"
+#include "client/smartphone.h"
+#include "core/cityhunter.h"
+#include "core/cityhunter_prelim.h"
+#include "core/deauth.h"
+#include "core/karma.h"
+#include "core/mana.h"
+#include "core/wigle_seed.h"
+#include "heatmap/heatmap.h"
+#include "medium/medium.h"
+#include "mobility/population.h"
+#include "mobility/venue.h"
+#include "stats/campaign.h"
+#include "world/ap_generator.h"
+#include "world/city.h"
+#include "world/photos.h"
+#include "world/pnl.h"
+#include "world/wigle.h"
+
+namespace cityhunter::sim {
+
+using support::Rng;
+using support::SimTime;
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  world::CityModel::Config city{};
+  world::ApPopulationConfig aps = world::default_ap_population();
+  world::PnlModelConfig pnl{};
+  world::PhotoSetConfig photos{};
+  world::WigleCoverage wigle_coverage{};
+  medium::Medium::Config medium{};
+  client::SmartphoneConfig phone{};
+};
+
+/// City coordinates where each of the paper's four venues sits (used for
+/// the nearest-SSID WiGLE query and for placing the venues' own APs).
+medium::Position venue_city_position(const std::string& venue_name);
+
+/// The static world: built once per scenario seed, shared across runs.
+class World {
+ public:
+  explicit World(ScenarioConfig cfg);
+
+  const world::CityModel& city() const { return city_; }
+  const std::vector<world::AccessPointInfo>& aps() const { return aps_; }
+  const world::WigleDb& wigle() const { return wigle_; }
+  const heatmap::HeatMap& heat() const { return heat_; }
+  world::PnlModel& pnl_model() { return pnl_; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+  /// Open public SSIDs with ground-truth APs within `radius_m` of `pos`,
+  /// ranked by local visit propensity (for world::Locale).
+  std::vector<std::string> local_public_ssids(medium::Position pos,
+                                              double radius_m = 800.0) const;
+
+ private:
+  ScenarioConfig cfg_;
+  world::CityModel city_;
+  std::vector<world::AccessPointInfo> aps_;
+  world::WigleDb wigle_;
+  world::PhotoSet photos_;
+  heatmap::HeatMap heat_;
+  world::PnlModel pnl_;
+};
+
+enum class AttackerKind { kKarma, kMana, kPrelim, kCityHunter };
+
+const char* to_string(AttackerKind k);
+
+struct DeauthScenario {
+  double pre_associated_fraction = 0.5;
+  SimTime interval = SimTime::seconds(20);
+  bool enable_deauth = true;  // false: victims stay associated (baseline)
+};
+
+struct RunConfig {
+  AttackerKind kind = AttackerKind::kCityHunter;
+  mobility::VenueConfig venue = mobility::canteen_venue();
+  mobility::SlotParams slot{};
+  SimTime duration = SimTime::hours(1);
+  std::uint64_t run_seed = 1;  // varies per slot / repetition
+
+  /// WiGLE seeding (prelim uses AP-count ranking, advanced uses heat).
+  core::WigleSeedConfig wigle_seed{};
+  /// Advanced attacker knobs (buffers, weights, ablation switches).
+  core::CityHunter::Config cityhunter{};
+  core::ManaAttacker::Config mana{};
+
+  /// §V-B extensions.
+  bool seed_carrier_ssids = false;
+  std::optional<DeauthScenario> deauth;
+
+  /// Sample the database size at this interval (Fig 1a). Unset = no series.
+  std::optional<SimTime> sample_every;
+
+  /// Warm start: carry over a database from a previous slot instead of
+  /// re-initialising (the paper re-initialised before every test; this knob
+  /// quantifies what that choice cost). Applied after WiGLE seeding, so
+  /// learned SSIDs and hit records survive.
+  std::optional<core::SsidDatabase> initial_database;
+};
+
+struct SeriesPoint {
+  SimTime time;
+  std::size_t db_size = 0;
+  std::size_t broadcast_connected = 0;
+};
+
+struct RunOutput {
+  stats::CampaignResult result;
+  std::vector<SeriesPoint> series;
+  std::vector<stats::WindowRate> window_rates;  // 2-minute h_b^r windows
+  int final_pb_size = 0;
+  int final_fb_size = 0;
+  std::size_t db_final_size = 0;
+  std::size_t db_from_direct = 0;
+  std::uint64_t deauths_sent = 0;
+  /// Snapshot of the attacker's database at the end of the run (for warm
+  /// starting the next slot).
+  core::SsidDatabase database;
+};
+
+/// Deploy `cfg.kind` in `cfg.venue` for `cfg.duration` and analyse.
+RunOutput run_campaign(World& world, const RunConfig& cfg);
+
+}  // namespace cityhunter::sim

@@ -1,0 +1,85 @@
+#include "stats/campaign.h"
+
+#include <numeric>
+
+namespace cityhunter::stats {
+
+double CampaignResult::mean_ssids_sent_connected() const {
+  if (ssids_sent_connected.empty()) return 0.0;
+  const double sum = std::accumulate(ssids_sent_connected.begin(),
+                                     ssids_sent_connected.end(), 0.0);
+  return sum / static_cast<double>(ssids_sent_connected.size());
+}
+
+CampaignResult analyze(const core::Attacker& attacker,
+                       const std::string& label) {
+  CampaignResult r;
+  r.label = label;
+  for (const auto& [mac, c] : attacker.clients()) {
+    ++r.total_clients;
+    if (c.direct_prober) {
+      ++r.direct_clients;
+      if (c.connected) ++r.direct_connected;
+      continue;
+    }
+    ++r.broadcast_clients;
+    r.ssids_sent_all_broadcast.push_back(c.ssids_sent);
+    if (!c.connected) continue;
+    ++r.broadcast_connected;
+    r.ssids_sent_connected.push_back(c.ssids_sent);
+
+    if (!c.hit_choice) continue;
+    switch (c.hit_choice->source) {
+      case core::SsidSource::kWigleNearby:
+      case core::SsidSource::kWiglePopular:
+        ++r.hits_from_wigle;
+        break;
+      case core::SsidSource::kDirectProbe:
+        ++r.hits_from_direct_db;
+        break;
+      case core::SsidSource::kCarrierSeed:
+        ++r.hits_from_carrier_seed;
+        break;
+    }
+    switch (c.hit_choice->tag) {
+      case core::SelectionTag::kPopularity:
+        ++r.hits_via_popularity;
+        break;
+      case core::SelectionTag::kPopularityGhost:
+        ++r.hits_via_popularity;
+        ++r.hits_via_popularity_ghost;
+        break;
+      case core::SelectionTag::kFreshness:
+        ++r.hits_via_freshness;
+        break;
+      case core::SelectionTag::kFreshnessGhost:
+        ++r.hits_via_freshness;
+        ++r.hits_via_freshness_ghost;
+        break;
+      default:
+        break;  // plain dump / untried sweep: no buffer attribution
+    }
+  }
+  return r;
+}
+
+std::vector<WindowRate> realtime_hb(const core::Attacker& attacker,
+                                    SimTime window, SimTime duration) {
+  const auto n = static_cast<std::size_t>(
+      (duration.us() + window.us() - 1) / window.us());
+  std::vector<WindowRate> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].start = SimTime::microseconds(static_cast<std::int64_t>(i) *
+                                         window.us());
+  }
+  for (const auto& [mac, c] : attacker.clients()) {
+    if (c.direct_prober) continue;
+    const auto idx = static_cast<std::size_t>(c.first_seen.us() / window.us());
+    if (idx >= n) continue;
+    ++out[idx].broadcast_clients;
+    if (c.connected) ++out[idx].broadcast_connected;
+  }
+  return out;
+}
+
+}  // namespace cityhunter::stats

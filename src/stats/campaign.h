@@ -1,0 +1,97 @@
+// Campaign analysis: turns an attacker's client registry into the metrics
+// the paper reports.
+//
+//   h    — overall hit rate: connected clients / clients whose probes were
+//          received (Table I-III).
+//   h_b  — broadcast hit rate: connected broadcast-only clients / all
+//          broadcast-only clients (the paper's headline metric).
+//   h_b^r — real-time broadcast hit rate over fixed windows (Fig 1b).
+// Plus the Fig 2 per-client "SSIDs tried" distributions and the Fig 6
+// breakdown of successful SSIDs by database source (WiGLE vs direct probes)
+// and by selection buffer (popularity vs freshness, ghosts included).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attacker.h"
+#include "support/sim_time.h"
+
+namespace cityhunter::stats {
+
+using support::SimTime;
+
+struct CampaignResult {
+  std::string label;
+
+  std::size_t total_clients = 0;
+  std::size_t direct_clients = 0;     // sent at least one direct probe
+  std::size_t broadcast_clients = 0;  // broadcast-only
+  std::size_t direct_connected = 0;
+  std::size_t broadcast_connected = 0;
+
+  double h() const {
+    return total_clients
+               ? static_cast<double>(direct_connected + broadcast_connected) /
+                     static_cast<double>(total_clients)
+               : 0.0;
+  }
+  double h_b() const {
+    return broadcast_clients ? static_cast<double>(broadcast_connected) /
+                                   static_cast<double>(broadcast_clients)
+                             : 0.0;
+  }
+
+  // --- Fig 6: breakdown of broadcast-hit SSIDs ---
+  std::size_t hits_from_wigle = 0;
+  std::size_t hits_from_direct_db = 0;  // SSIDs learned from direct probes
+  std::size_t hits_from_carrier_seed = 0;
+  std::size_t hits_via_popularity = 0;  // PB incl. its ghost list
+  std::size_t hits_via_popularity_ghost = 0;
+  std::size_t hits_via_freshness = 0;  // FB incl. its ghost list
+  std::size_t hits_via_freshness_ghost = 0;
+
+  double wigle_to_direct_ratio() const {
+    return hits_from_direct_db
+               ? static_cast<double>(hits_from_wigle) /
+                     static_cast<double>(hits_from_direct_db)
+               : 0.0;
+  }
+  double popularity_to_freshness_ratio() const {
+    return hits_via_freshness
+               ? static_cast<double>(hits_via_popularity) /
+                     static_cast<double>(hits_via_freshness)
+               : 0.0;
+  }
+
+  // --- Fig 2 ---
+  /// Distinct SSIDs offered to each *connected broadcast* client (Fig 2a).
+  std::vector<int> ssids_sent_connected;
+  /// Distinct SSIDs offered to every broadcast client (Fig 2b).
+  std::vector<int> ssids_sent_all_broadcast;
+
+  double mean_ssids_sent_connected() const;
+};
+
+/// Analyse an attacker after (or during) a run.
+CampaignResult analyze(const core::Attacker& attacker,
+                       const std::string& label);
+
+/// Real-time broadcast hit rate per window (Fig 1b): window i covers
+/// [i*window, (i+1)*window). A client is counted in the window of its first
+/// appearance; it counts as hit if it ever connected.
+struct WindowRate {
+  SimTime start;
+  std::size_t broadcast_clients = 0;
+  std::size_t broadcast_connected = 0;
+  double rate() const {
+    return broadcast_clients ? static_cast<double>(broadcast_connected) /
+                                   static_cast<double>(broadcast_clients)
+                             : 0.0;
+  }
+};
+
+std::vector<WindowRate> realtime_hb(const core::Attacker& attacker,
+                                    SimTime window, SimTime duration);
+
+}  // namespace cityhunter::stats

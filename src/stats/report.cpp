@@ -1,0 +1,37 @@
+#include "stats/report.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace cityhunter::stats {
+
+std::string comparison_table(const std::vector<CampaignResult>& rows) {
+  support::TextTable t({"Attack", "Total probes", "Direct/Broadcast",
+                        "Clients connected", "h", "h_b"});
+  for (const auto& r : rows) {
+    std::ostringstream split;
+    split << r.direct_clients << "/" << r.broadcast_clients;
+    std::ostringstream conn;
+    conn << r.direct_connected << " (direct); " << r.broadcast_connected
+         << " (broadcast)";
+    t.add_row({r.label,
+               support::TextTable::num(
+                   static_cast<long long>(r.total_clients)),
+               split.str(), conn.str(), support::TextTable::pct(r.h()),
+               support::TextTable::pct(r.h_b())});
+  }
+  return t.str();
+}
+
+std::string summary_line(const CampaignResult& r) {
+  std::ostringstream os;
+  os << r.label << ": " << r.total_clients << " clients ("
+     << r.direct_clients << " direct / " << r.broadcast_clients
+     << " broadcast), connected " << r.direct_connected << "+"
+     << r.broadcast_connected << ", h=" << support::TextTable::pct(r.h())
+     << ", h_b=" << support::TextTable::pct(r.h_b());
+  return os.str();
+}
+
+}  // namespace cityhunter::stats

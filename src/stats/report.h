@@ -1,0 +1,18 @@
+// Rendering of campaign results in the paper's table formats.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/campaign.h"
+
+namespace cityhunter::stats {
+
+/// Render rows shaped like Tables I-III:
+///   Attack | Total probes | Direct/Broadcast | Clients connected | h | h_b
+std::string comparison_table(const std::vector<CampaignResult>& rows);
+
+/// One-line summary for logs.
+std::string summary_line(const CampaignResult& r);
+
+}  // namespace cityhunter::stats

@@ -1,0 +1,97 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cityhunter::support {
+
+Histogram::Histogram(double bucket_width) : bucket_width_(bucket_width) {
+  if (bucket_width <= 0.0) {
+    throw std::invalid_argument("Histogram: bucket_width must be positive");
+  }
+}
+
+void Histogram::add(double value) {
+  const long long b = static_cast<long long>(std::floor(value / bucket_width_));
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::fraction_in_bucket(double bucket_lo) const {
+  if (count_ == 0) return 0.0;
+  const long long b =
+      static_cast<long long>(std::floor(bucket_lo / bucket_width_));
+  const auto it = buckets_.find(b);
+  if (it == buckets_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(count_);
+}
+
+std::vector<std::pair<double, std::size_t>> Histogram::buckets() const {
+  std::vector<std::pair<double, std::size_t>> out;
+  out.reserve(buckets_.size());
+  for (const auto& [b, c] : buckets_) {
+    out.emplace_back(static_cast<double>(b) * bucket_width_, c);
+  }
+  return out;
+}
+
+std::string Histogram::ascii(int width) const {
+  std::ostringstream os;
+  std::size_t peak = 0;
+  for (const auto& [b, c] : buckets_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+  for (const auto& [b, c] : buckets_) {
+    const double lo = static_cast<double>(b) * bucket_width_;
+    const int bar = static_cast<int>(
+        std::lround(static_cast<double>(c) / static_cast<double>(peak) *
+                    width));
+    os << "[" << lo << ", " << lo + bucket_width_ << ")  ";
+    for (int i = 0; i < bar; ++i) os << '#';
+    os << "  " << c << " ("
+       << 100.0 * static_cast<double>(c) / static_cast<double>(count_)
+       << "%)\n";
+  }
+  return os.str();
+}
+
+void Summary::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double Summary::stddev() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace cityhunter::support

@@ -1,0 +1,63 @@
+// Lightweight histogram and summary statistics used by stats/ and bench/.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cityhunter::support {
+
+/// Fixed-width bucketed histogram over non-negative values.
+class Histogram {
+ public:
+  /// bucket_width must be positive; values are assigned to bucket
+  /// floor(v / bucket_width).
+  explicit Histogram(double bucket_width);
+
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double stddev() const;
+
+  /// Fraction of samples whose bucket lower bound equals `bucket_lo`.
+  double fraction_in_bucket(double bucket_lo) const;
+
+  /// (bucket lower bound, count) pairs, sorted by bucket.
+  std::vector<std::pair<double, std::size_t>> buckets() const;
+
+  /// Render an ASCII bar chart, `width` chars for the largest bucket.
+  std::string ascii(int width = 50) const;
+
+ private:
+  double bucket_width_;
+  std::map<long long, std::size_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Running mean/min/max/stddev without retaining samples.
+class Summary {
+ public:
+  void add(double v);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cityhunter::support

@@ -1,0 +1,25 @@
+#include "support/sim_time.h"
+
+#include <cstdio>
+
+namespace cityhunter::support {
+
+std::string SimTime::str() const {
+  char buf[64];
+  const double total_sec = sec();
+  if (total_sec < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ms());
+  } else if (total_sec < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", total_sec);
+  } else if (total_sec < 3600.0) {
+    const int m = static_cast<int>(total_sec) / 60;
+    std::snprintf(buf, sizeof(buf), "%dm%.1fs", m, total_sec - m * 60);
+  } else {
+    const int h = static_cast<int>(total_sec) / 3600;
+    const int m = (static_cast<int>(total_sec) % 3600) / 60;
+    std::snprintf(buf, sizeof(buf), "%dh%02dm", h, m);
+  }
+  return buf;
+}
+
+}  // namespace cityhunter::support

@@ -1,0 +1,72 @@
+// Simulated-time primitives.
+//
+// Everything in the simulator runs on SimTime, a strongly typed microsecond
+// tick count. Nothing in the repository reads a wall clock: determinism is a
+// design requirement (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace cityhunter::support {
+
+/// A point in simulated time, measured in microseconds since simulation
+/// start. Strongly typed to prevent accidental mixing with raw integers or
+/// durations in other units.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors: always say the unit at the call site.
+  static constexpr SimTime microseconds(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime milliseconds(std::int64_t ms) {
+    return SimTime(ms * 1000);
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimTime hours(double h) { return seconds(h * 3600.0); }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double min() const { return sec() / 60.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime rhs) const {
+    return SimTime(us_ + rhs.us_);
+  }
+  constexpr SimTime operator-(SimTime rhs) const {
+    return SimTime(us_ - rhs.us_);
+  }
+  constexpr SimTime& operator+=(SimTime rhs) {
+    us_ += rhs.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    us_ -= rhs.us_;
+    return *this;
+  }
+
+  /// Scale a duration (e.g. `interval * 0.5`).
+  constexpr SimTime operator*(double k) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+
+  /// Human-readable rendering, e.g. "12m34.5s" — for logs and reports.
+  std::string str() const;
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(INT64_MAX);
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace cityhunter::support

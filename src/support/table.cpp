@@ -1,0 +1,62 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cityhunter::support {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::num(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> w(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    w[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? " | " : "") << row[i]
+         << std::string(w[i] - row[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << (i ? "-+-" : "") << std::string(w[i], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace cityhunter::support

@@ -1,0 +1,34 @@
+// Plain-text table rendering for bench output: every bench binary prints the
+// same rows the paper's tables report, via this formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cityhunter::support {
+
+/// Accumulates rows of cells and renders an aligned ASCII table with a
+/// header rule, e.g.
+///
+///   Attack      | Total probes | h     | h_b
+///   ------------+--------------+-------+------
+///   KARMA       | 614          | 3.9%  | 0%
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric cells.
+  static std::string pct(double fraction, int decimals = 1);
+  static std::string num(double v, int decimals = 1);
+  static std::string num(long long v);
+
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cityhunter::support

@@ -1,0 +1,32 @@
+// Access-point ground truth records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dot11/mac_address.h"
+#include "medium/geometry.h"
+
+namespace cityhunter::world {
+
+using medium::Position;
+
+enum class ApCategory {
+  kResidential,  // unique home SSIDs, almost always protected
+  kChain,        // '7-Eleven Free Wifi' style city-wide brands
+  kHotArea,      // '#HKAirport Free WiFi' style: few APs, hot locations
+  kVenueLocal,   // APs of the specific venue being attacked
+  kCarrier,      // operator hotspots preloaded in iOS PNLs ('PCCW1x')
+  kEnterprise,   // office networks, protected
+};
+
+struct AccessPointInfo {
+  std::string ssid;
+  dot11::MacAddress bssid;
+  Position pos;
+  bool open = false;  // no RSN: association succeeds without credentials
+  std::uint8_t channel = 1;
+  ApCategory category = ApCategory::kResidential;
+};
+
+}  // namespace cityhunter::world

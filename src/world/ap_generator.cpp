@@ -1,0 +1,158 @@
+#include "world/ap_generator.h"
+
+#include <cstdio>
+
+namespace cityhunter::world {
+
+namespace {
+
+dot11::MacAddress random_bssid(support::Rng& rng) {
+  // A plausible vendor OUI per AP.
+  static constexpr std::array<std::array<std::uint8_t, 3>, 5> kOuis = {{
+      {0x00, 0x1d, 0xaa},  // DrayTek
+      {0xf4, 0xf2, 0x6d},  // TP-Link
+      {0x88, 0x41, 0xfc},  // Arris
+      {0x00, 0x25, 0x9c},  // Cisco-Linksys
+      {0x5c, 0x49, 0x79},  // AVM
+  }};
+  return dot11::MacAddress::from_oui(kOuis[rng.index(kOuis.size())], rng);
+}
+
+std::uint8_t random_channel(support::Rng& rng) {
+  static constexpr std::uint8_t kCommon[] = {1, 6, 11};
+  return kCommon[rng.index(3)];
+}
+
+Position place(const CityModel& city, support::Rng& rng, double heat_bias) {
+  return rng.chance(heat_bias) ? city.sample_location(rng)
+                               : city.sample_uniform(rng);
+}
+
+}  // namespace
+
+ApPopulationConfig default_ap_population() {
+  ApPopulationConfig cfg;
+  cfg.chains = {
+      // Ranked by AP count: matches "top 5 SSIDs with maximum APs".
+      {"-Free HKBN Wi-Fi-", 1150, true, 0.45},
+      {"7-Eleven Free Wifi", 924, true, 0.30},
+      {"-Circle K Free Wi-Fi-", 780, true, 0.28},
+      {"CSL", 700, true, 0.40},
+      {"CMCC-WEB", 640, true, 0.35},
+      // Fewer APs but deployed where the crowds are: these two overtake the
+      // pure-count ranking once heat is considered (Table IV).
+      {"Free Public WiFi", 400, true, 0.97},
+      {"FREE 3Y5 AdWiFi", 180, true, 0.95},
+      // Mid-tail brands.
+      {"Starbucks", 150, true, 0.55},
+      {"McDonalds Free WiFi", 220, true, 0.50},
+      {"MTR Free Wi-Fi", 95, true, 0.85},
+      {"Pacific Coffee", 90, true, 0.50},
+      {"Maxims-WiFi", 70, true, 0.45},
+  };
+  cfg.hot_areas = {
+      {"#HKAirport Free WiFi", 231, DistrictKind::kAirport},
+      {"RailwayStation-Free", 60, DistrictKind::kTransport},
+  };
+  cfg.carriers = {
+      {"PCCW", "PCCW1x", 620},
+      {"Y5", "Y5ZONE", 310},
+      {"CMHK", "CMCC-AUTO", 260},
+  };
+  return cfg;
+}
+
+std::vector<AccessPointInfo> generate_aps(const CityModel& city,
+                                          support::Rng& rng,
+                                          const ApPopulationConfig& cfg) {
+  std::vector<AccessPointInfo> aps;
+  char name[64];
+
+  // Residential: unique SSIDs, overwhelmingly protected, clustered in
+  // residential districts.
+  for (int i = 0; i < cfg.residential_ap_count; ++i) {
+    AccessPointInfo ap;
+    std::snprintf(name, sizeof(name), "HOME-%04X",
+                  static_cast<unsigned>(rng.uniform_int(0, 0xFFFF)));
+    ap.ssid = name;
+    ap.bssid = random_bssid(rng);
+    ap.pos = city.sample_location_of_kind(rng, DistrictKind::kResidential);
+    ap.open = rng.chance(cfg.residential_open_fraction);
+    ap.channel = random_channel(rng);
+    ap.category = ApCategory::kResidential;
+    aps.push_back(std::move(ap));
+  }
+
+  // Enterprise: protected, commercial districts.
+  for (int i = 0; i < cfg.enterprise_ap_count; ++i) {
+    AccessPointInfo ap;
+    std::snprintf(name, sizeof(name), "CORP-%03d-5F", i);
+    ap.ssid = name;
+    ap.bssid = random_bssid(rng);
+    ap.pos = city.sample_location_of_kind(rng, DistrictKind::kCommercial);
+    ap.open = false;
+    ap.channel = random_channel(rng);
+    ap.category = ApCategory::kEnterprise;
+    aps.push_back(std::move(ap));
+  }
+
+  // Small venues: single-AP open networks forming the long popularity tail.
+  for (int i = 0; i < cfg.small_venue_count; ++i) {
+    AccessPointInfo ap;
+    std::snprintf(name, sizeof(name), "Cafe-%04d", i);
+    ap.ssid = name;
+    ap.bssid = random_bssid(rng);
+    ap.pos = place(city, rng, 0.6);
+    ap.open = rng.chance(0.7);
+    ap.channel = random_channel(rng);
+    ap.category = ApCategory::kVenueLocal;
+    aps.push_back(std::move(ap));
+  }
+
+  // Chains.
+  for (const auto& chain : cfg.chains) {
+    for (int i = 0; i < chain.ap_count; ++i) {
+      AccessPointInfo ap;
+      ap.ssid = chain.ssid;
+      ap.bssid = random_bssid(rng);
+      ap.pos = place(city, rng, chain.heat_bias);
+      ap.open = chain.open;
+      ap.channel = random_channel(rng);
+      ap.category = ApCategory::kChain;
+      aps.push_back(std::move(ap));
+    }
+  }
+
+  // Hot-area SSIDs.
+  for (const auto& hot : cfg.hot_areas) {
+    for (int i = 0; i < hot.ap_count; ++i) {
+      AccessPointInfo ap;
+      ap.ssid = hot.ssid;
+      ap.bssid = random_bssid(rng);
+      ap.pos = city.sample_location_of_kind(rng, hot.kind);
+      ap.open = true;
+      ap.channel = random_channel(rng);
+      ap.category = ApCategory::kHotArea;
+      aps.push_back(std::move(ap));
+    }
+  }
+
+  // Carrier hotspots: open at the MAC layer (EAP-SIM above it — the attack
+  // still completes association, which is what the paper counts).
+  for (const auto& carrier : cfg.carriers) {
+    for (int i = 0; i < carrier.ap_count; ++i) {
+      AccessPointInfo ap;
+      ap.ssid = carrier.ssid;
+      ap.bssid = random_bssid(rng);
+      ap.pos = place(city, rng, 0.6);
+      ap.open = true;
+      ap.channel = random_channel(rng);
+      ap.category = ApCategory::kCarrier;
+      aps.push_back(std::move(ap));
+    }
+  }
+
+  return aps;
+}
+
+}  // namespace cityhunter::world

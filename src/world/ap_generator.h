@@ -1,0 +1,64 @@
+// Generator for the city's access-point population.
+//
+// Produces the ground truth that (a) the WiGLE snapshot samples, (b) the PNL
+// model draws visit histories from, and (c) venue simulations place local
+// APs from. Default parameters are shaped after the paper's Hong Kong
+// examples: a handful of city-wide chains ('7-Eleven Free Wifi', 924 APs),
+// hot-area SSIDs with few APs but many visitors ('#HKAirport Free WiFi',
+// 231 APs), carrier hotspots preloaded on iOS ('PCCW1x'), and a long tail of
+// residential and small-venue networks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "world/ap.h"
+#include "world/city.h"
+
+namespace cityhunter::world {
+
+/// A brand with APs spread over the city.
+struct ChainSpec {
+  std::string ssid;
+  int ap_count = 0;
+  bool open = true;
+  /// Probability that each AP is placed density-weighted (hot areas) rather
+  /// than uniformly: 'Free Public WiFi' style deployments target crowds.
+  double heat_bias = 0.3;
+};
+
+/// An SSID whose APs all sit in districts of one kind (airport, stations).
+struct HotAreaSpec {
+  std::string ssid;
+  int ap_count = 0;
+  DistrictKind kind = DistrictKind::kAirport;
+};
+
+/// Operator hotspots; subscribers of `carrier` have `ssid` preloaded in
+/// their PNL (Sec V-B of the paper).
+struct CarrierSpec {
+  std::string carrier;
+  std::string ssid;
+  int ap_count = 0;
+};
+
+struct ApPopulationConfig {
+  int residential_ap_count = 4000;
+  double residential_open_fraction = 0.04;  // forgotten-open home routers
+  int enterprise_ap_count = 600;
+  int small_venue_count = 1500;  // one-AP cafes etc: the popularity tail
+  std::vector<ChainSpec> chains;
+  std::vector<HotAreaSpec> hot_areas;
+  std::vector<CarrierSpec> carriers;
+};
+
+/// Hong-Kong-flavoured default population (Table IV names).
+ApPopulationConfig default_ap_population();
+
+/// Generate the full AP list. Deterministic in `rng`.
+std::vector<AccessPointInfo> generate_aps(const CityModel& city,
+                                          support::Rng& rng,
+                                          const ApPopulationConfig& cfg);
+
+}  // namespace cityhunter::world

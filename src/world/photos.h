@@ -1,0 +1,37 @@
+// Synthetic geotagged photos — the heat-map input.
+//
+// The paper estimates people density from the number of geotagged photos
+// posted per area. We generate photos proportional to the ground-truth city
+// density with a tourist bias towards non-residential districts (people
+// photograph the airport and malls, not their own flat), which is exactly
+// the property the paper exploits: photo density over-weights places many
+// *different* people pass through.
+#pragma once
+
+#include <vector>
+
+#include "support/rng.h"
+#include "world/city.h"
+
+namespace cityhunter::world {
+
+struct PhotoSetConfig {
+  int photo_count = 50000;
+  /// Share of photos taken by "tourists": locations drawn only from
+  /// commercial / transport / airport districts.
+  double tourist_fraction = 0.55;
+};
+
+class PhotoSet {
+ public:
+  static PhotoSet generate(const CityModel& city, support::Rng& rng,
+                           const PhotoSetConfig& cfg = PhotoSetConfig());
+
+  const std::vector<Position>& positions() const { return positions_; }
+  std::size_t size() const { return positions_.size(); }
+
+ private:
+  std::vector<Position> positions_;
+};
+
+}  // namespace cityhunter::world

@@ -1,0 +1,97 @@
+#include "world/wigle.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cityhunter::world {
+
+double WigleCoverage::of(ApCategory cat) const {
+  switch (cat) {
+    case ApCategory::kResidential: return residential;
+    case ApCategory::kEnterprise: return enterprise;
+    case ApCategory::kChain: return chain;
+    case ApCategory::kHotArea: return hot_area;
+    case ApCategory::kVenueLocal: return venue_local;
+    case ApCategory::kCarrier: return 0.0;  // not obtainable (§V-B)
+  }
+  return 0.0;
+}
+
+WigleDb WigleDb::snapshot(const std::vector<AccessPointInfo>& ground_truth,
+                          support::Rng& rng, double coverage) {
+  WigleDb db;
+  db.records_.reserve(ground_truth.size());
+  for (const auto& ap : ground_truth) {
+    // Carrier hotspot SSIDs are not obtainable from WiGLE (paper §V-B);
+    // the carrier-seed extension supplies them out of band.
+    if (ap.category == ApCategory::kCarrier) continue;
+    if (rng.chance(coverage)) db.records_.push_back(ap);
+  }
+  return db;
+}
+
+WigleDb WigleDb::snapshot(const std::vector<AccessPointInfo>& ground_truth,
+                          support::Rng& rng, const WigleCoverage& coverage) {
+  WigleDb db;
+  db.records_.reserve(ground_truth.size());
+  for (const auto& ap : ground_truth) {
+    if (rng.chance(coverage.of(ap.category))) db.records_.push_back(ap);
+  }
+  return db;
+}
+
+WigleDb WigleDb::from_records(std::vector<AccessPointInfo> records) {
+  WigleDb db;
+  db.records_ = std::move(records);
+  return db;
+}
+
+std::vector<std::string> WigleDb::nearest_free_ssids(Position pos,
+                                                     std::size_t n) const {
+  std::vector<const AccessPointInfo*> free;
+  free.reserve(records_.size());
+  for (const auto& ap : records_) {
+    if (ap.open) free.push_back(&ap);
+  }
+  std::sort(free.begin(), free.end(),
+            [&](const AccessPointInfo* a, const AccessPointInfo* b) {
+              const double da = medium::distance(a->pos, pos);
+              const double db = medium::distance(b->pos, pos);
+              if (da != db) return da < db;
+              return a->ssid < b->ssid;  // deterministic tie-break
+            });
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto* ap : free) {
+    if (out.size() >= n) break;
+    if (seen.insert(ap->ssid).second) out.push_back(ap->ssid);
+  }
+  return out;
+}
+
+std::map<std::string, int> WigleDb::free_ap_counts() const {
+  std::map<std::string, int> counts;
+  for (const auto& ap : records_) {
+    if (ap.open) ++counts[ap.ssid];
+  }
+  return counts;
+}
+
+std::vector<Position> WigleDb::free_ap_positions(
+    const std::string& ssid) const {
+  std::vector<Position> out;
+  for (const auto& ap : records_) {
+    if (ap.open && ap.ssid == ssid) out.push_back(ap.pos);
+  }
+  return out;
+}
+
+std::vector<std::string> WigleDb::free_ssids() const {
+  std::set<std::string> seen;
+  for (const auto& ap : records_) {
+    if (ap.open) seen.insert(ap.ssid);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace cityhunter::world

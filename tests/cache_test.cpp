@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "cache/arc_cache.h"
+#include "cache/lfu_cache.h"
+#include "cache/lru_cache.h"
+#include "support/rng.h"
+
+namespace cityhunter::cache {
+namespace {
+
+// --- LRU ---
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  EXPECT_TRUE(c.get(1).has_value());  // touch 1 -> 2 becomes LRU
+  c.put(3, 30);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LruCache, PutUpdatesValueAndRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(1, 11);  // refresh 1
+  c.put(3, 30);  // evicts 2
+  EXPECT_EQ(c.get(1).value_or(-1), 11);
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, PeekDoesNotTouch) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  EXPECT_EQ(c.peek(1).value_or(-1), 10);  // no recency change
+  c.put(3, 30);                           // 1 still LRU -> evicted
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(LruCache, CapacityInvariant) {
+  LruCache<int, int> c(5);
+  for (int i = 0; i < 100; ++i) c.put(i, i);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_THROW((LruCache<int, int>(0)), std::invalid_argument);
+}
+
+// --- LFU ---
+
+TEST(LfuCache, EvictsLeastFrequentlyUsed) {
+  LfuCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.get(1);
+  c.get(1);  // freq(1)=3, freq(2)=1
+  c.put(3, 30);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(LfuCache, TracksFrequency) {
+  LfuCache<int, int> c(3);
+  c.put(7, 70);
+  EXPECT_EQ(c.frequency(7), 1u);
+  c.get(7);
+  c.get(7);
+  EXPECT_EQ(c.frequency(7), 3u);
+  EXPECT_EQ(c.frequency(99), 0u);
+}
+
+TEST(LfuCache, LruTieBreakWithinFrequencyClass) {
+  LfuCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);  // both freq 1; 1 is older
+  c.put(3, 30);  // evict LRU of freq-1 class = 1
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(LfuCache, CapacityInvariant) {
+  LfuCache<int, int> c(4);
+  support::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const int k = static_cast<int>(rng.uniform_int(0, 50));
+    if (!c.get(k)) c.put(k, k);
+    ASSERT_LE(c.size(), 4u);
+  }
+}
+
+// --- ARC ---
+
+TEST(ArcCache, BasicHitMiss) {
+  ArcCache<int, int> c(4);
+  EXPECT_FALSE(c.get(1).has_value());
+  c.put(1, 10);
+  EXPECT_EQ(c.get(1).value_or(-1), 10);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ArcCache, NeverExceedsCapacity) {
+  ArcCache<int, int> c(8);
+  support::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const int k = static_cast<int>(rng.zipf(100, 0.8));
+    if (!c.get(k)) c.put(k, k * 2);
+    ASSERT_LE(c.size(), 8u);
+    ASSERT_LE(c.t1_size() + c.b1_size(), 8u);  // ARC invariant |T1|+|B1| <= c
+    ASSERT_LE(c.t1_size() + c.t2_size() + c.b1_size() + c.b2_size(), 16u);
+  }
+}
+
+TEST(ArcCache, EvictedKeyGoesToGhost) {
+  ArcCache<int, int> c(2);
+  c.put(1, 1);
+  c.put(2, 2);
+  c.get(1);     // promote 1 to T2; T1 = {2}
+  c.put(3, 3);  // REPLACE demotes T1's LRU (2) into ghost B1
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.in_ghost(2));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(ArcCache, FullT1EvictsWithoutGhosting) {
+  // ARC Case IV(a), |T1| == c with B1 empty: the LRU of T1 leaves the cache
+  // entirely (Megiddo & Modha delete it without recording a ghost).
+  ArcCache<int, int> c(2);
+  c.put(1, 1);
+  c.put(2, 2);
+  c.put(3, 3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.in_ghost(1));
+}
+
+TEST(ArcCache, GhostHitAdaptsRecencyTarget) {
+  ArcCache<int, int> c(2);
+  c.put(1, 1);
+  c.put(2, 2);
+  c.get(1);     // 1 -> T2, T1 = {2}
+  c.put(3, 3);  // 2 -> B1 ghost
+  ASSERT_TRUE(c.in_ghost(2));
+  const auto p_before = c.recency_target();
+  c.put(2, 2);  // ghost hit in B1: p must grow (favour recency)
+  EXPECT_GT(c.recency_target(), p_before);
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(ArcCache, FrequentItemsSurviveScanFlood) {
+  // The signature ARC behaviour: a scan of one-shot keys must not wipe out
+  // the frequently reused working set (unlike LRU).
+  ArcCache<int, int> arc(10);
+  LruCache<int, int> lru(10);
+  // Establish a hot working set, reused many times.
+  for (int round = 0; round < 5; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      if (!arc.get(k)) arc.put(k, k);
+      if (!lru.get(k)) lru.put(k, k);
+    }
+  }
+  // Flood with 100 one-shot keys.
+  for (int k = 1000; k < 1100; ++k) {
+    arc.put(k, k);
+    lru.put(k, k);
+  }
+  int arc_kept = 0, lru_kept = 0;
+  for (int k = 0; k < 5; ++k) {
+    if (arc.contains(k)) ++arc_kept;
+    if (lru.contains(k)) ++lru_kept;
+  }
+  EXPECT_EQ(lru_kept, 0);      // LRU lost everything
+  EXPECT_GT(arc_kept, 2);      // ARC kept most of the hot set
+}
+
+TEST(ArcCache, HitRateBeatsLruOnMixedWorkload) {
+  // Zipf-skewed reuse plus periodic scans: ARC should match or beat LRU.
+  ArcCache<int, int> arc(32);
+  LruCache<int, int> lru(32);
+  support::Rng rng(11);
+  int arc_hits = 0, lru_hits = 0, total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    int k;
+    if (i % 10 == 9) {
+      k = 100000 + i;  // scan key, never reused
+    } else {
+      k = static_cast<int>(rng.zipf(200, 1.1));
+    }
+    ++total;
+    if (arc.get(k)) {
+      ++arc_hits;
+    } else {
+      arc.put(k, k);
+    }
+    if (lru.get(k)) {
+      ++lru_hits;
+    } else {
+      lru.put(k, k);
+    }
+  }
+  EXPECT_GE(arc_hits, lru_hits) << "ARC " << arc_hits << " vs LRU "
+                                << lru_hits << " of " << total;
+}
+
+TEST(ArcCache, UpdateExistingKey) {
+  ArcCache<int, int> c(4);
+  c.put(1, 10);
+  c.put(1, 11);
+  EXPECT_EQ(c.get(1).value_or(-1), 11);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ArcCache, GhostResurrectionRestoresValueFreshly) {
+  ArcCache<int, int> c(2);
+  c.put(1, 111);
+  c.put(2, 2);
+  c.get(1);       // 1 -> T2
+  c.put(3, 3);    // 2 ghosted, value dropped
+  ASSERT_TRUE(c.in_ghost(2));
+  c.put(2, 999);  // resurrect via ghost-hit path
+  EXPECT_EQ(c.get(2).value_or(-1), 999);
+}
+
+TEST(ArcCache, RejectsZeroCapacity) {
+  EXPECT_THROW((ArcCache<int, int>(0)), std::invalid_argument);
+}
+
+// Parameterised sweep: for several capacities, a pure-recency workload keeps
+// working-set keys resident.
+class ArcCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArcCapacity, SequentialWorkingSetFits) {
+  const std::size_t cap = GetParam();
+  ArcCache<int, int> c(cap);
+  // Touch keys 0..cap-1 twice: all should be resident afterwards.
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t k = 0; k < cap; ++k) {
+      if (!c.get(static_cast<int>(k))) c.put(static_cast<int>(k), 1);
+    }
+  }
+  for (std::size_t k = 0; k < cap; ++k) {
+    EXPECT_TRUE(c.contains(static_cast<int>(k))) << "cap=" << cap << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ArcCapacity,
+                         ::testing::Values(1, 2, 3, 8, 40, 129));
+
+}  // namespace
+}  // namespace cityhunter::cache

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "client/legit_ap.h"
+#include "client/smartphone.h"
+#include "core/cityhunter.h"
+#include "core/deauth.h"
+#include "core/karma.h"
+#include "defense/detector.h"
+#include "support/rng.h"
+
+namespace cityhunter::defense {
+namespace {
+
+using dot11::MacAddress;
+using support::Rng;
+using support::SimTime;
+
+class DefenseTest : public ::testing::Test {
+ protected:
+  DefenseTest() : medium_(events_) {}
+
+  world::Person person(std::uint64_t id, bool direct,
+                       std::vector<world::PnlEntry> pnl) {
+    world::Person p;
+    p.id = id;
+    p.sends_direct_probes = direct;
+    p.pnl = std::move(pnl);
+    return p;
+  }
+
+  client::SmartphoneConfig phone_cfg() {
+    client::SmartphoneConfig cfg;
+    cfg.mean_scan_interval = SimTime::seconds(20);
+    cfg.first_scan_delay_max = SimTime::seconds(1);
+    return cfg;
+  }
+
+  medium::EventQueue events_;
+  medium::Medium medium_;
+  Rng rng_{1};
+};
+
+TEST_F(DefenseTest, FlagsCityHunterByMultiSsidSignature) {
+  core::CityHunter::Config cfg;
+  cfg.base.bssid = *MacAddress::parse("0a:00:00:00:00:66");
+  cfg.base.pos = {0, 0};
+  core::CityHunter hunter(medium_, cfg, rng_.fork("h"));
+  for (int i = 0; i < 100; ++i) {
+    hunter.database().add("ssid-" + std::to_string(i),
+                          static_cast<double>(100 - i),
+                          core::SsidSource::kWiglePopular, SimTime::zero());
+  }
+  hunter.start();
+
+  EvilTwinDetector detector(medium_, {10, 0}, 6, EvilTwinDetector::Config{});
+  detector.start();
+
+  // One broadcast-probing client triggers a 40-SSID response train; the
+  // detector flags the BSSID within that single train.
+  client::Smartphone probe(person(1, false, {}), medium_, {5, 0}, phone_cfg(),
+                           rng_.fork("p"));
+  probe.start();
+  events_.run_until(SimTime::seconds(10));
+
+  EXPECT_TRUE(detector.flagged(cfg.base.bssid));
+  ASSERT_FALSE(detector.alerts().empty());
+  EXPECT_EQ(detector.alerts()[0].type, AlertType::kMultiSsidBssid);
+  EXPECT_GT(detector.ssid_count(cfg.base.bssid), 8u);
+  // Detection is fast: within the first scan exchange.
+  const auto t = detector.first_detection(cfg.base.bssid);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_LT(*t, SimTime::seconds(5));
+}
+
+TEST_F(DefenseTest, FlagsKarmaOnlyAfterEnoughDirectMimicry) {
+  core::Attacker::BaseConfig base;
+  base.bssid = *MacAddress::parse("0a:00:00:00:00:67");
+  base.pos = {0, 0};
+  core::KarmaAttacker karma(medium_, base);
+  karma.start();
+
+  EvilTwinDetector::Config dcfg;
+  dcfg.max_ssids_per_bssid = 4;
+  EvilTwinDetector detector(medium_, {10, 0}, 6, dcfg);
+  detector.start();
+
+  // A legacy device with a long PNL makes KARMA mimic many SSIDs at once.
+  std::vector<world::PnlEntry> pnl;
+  for (int i = 0; i < 8; ++i) {
+    pnl.push_back({"net-" + std::to_string(i), false,
+                   world::PnlOrigin::kPublicVisit});
+  }
+  client::Smartphone legacy(person(2, true, pnl), medium_, {5, 0},
+                            phone_cfg(), rng_.fork("l"));
+  legacy.start();
+  events_.run_until(SimTime::seconds(10));
+  EXPECT_TRUE(detector.flagged(base.bssid));
+}
+
+TEST_F(DefenseTest, DoesNotFlagAnHonestSingleSsidAp) {
+  client::LegitimateAp::Config ap_cfg;
+  ap_cfg.ssid = "HonestNet";
+  ap_cfg.bssid = *MacAddress::parse("02:00:00:00:00:20");
+  ap_cfg.pos = {0, 0};
+  client::LegitimateAp ap(medium_, ap_cfg);
+  ap.start();
+
+  EvilTwinDetector detector(medium_, {10, 0}, 6, EvilTwinDetector::Config{});
+  detector.start();
+
+  client::Smartphone probe(
+      person(3, false, {{"HonestNet", true, world::PnlOrigin::kVenueLocal}}),
+      medium_, {5, 0}, phone_cfg(), rng_.fork("p"));
+  probe.start();
+  events_.run_until(SimTime::minutes(2));
+  EXPECT_FALSE(detector.flagged(ap_cfg.bssid));
+  EXPECT_TRUE(detector.alerts().empty());
+  EXPECT_EQ(detector.ssid_count(ap_cfg.bssid), 1u);
+}
+
+TEST_F(DefenseTest, ReportsSecurityDowngrade) {
+  core::Attacker::BaseConfig base;
+  base.bssid = *MacAddress::parse("0a:00:00:00:00:68");
+  base.pos = {0, 0};
+  core::KarmaAttacker karma(medium_, base);
+  karma.start();
+
+  EvilTwinDetector::Config dcfg;
+  dcfg.known_protected_ssids = {"MyCorpWifi"};
+  EvilTwinDetector detector(medium_, {10, 0}, 6, dcfg);
+  detector.start();
+
+  // The victim asks for its protected corporate network; KARMA mimics it as
+  // open — the downgrade signature.
+  client::Smartphone victim(
+      person(4, true, {{"MyCorpWifi", false, world::PnlOrigin::kWork}}),
+      medium_, {5, 0}, phone_cfg(), rng_.fork("v"));
+  victim.start();
+  events_.run_until(SimTime::seconds(10));
+  ASSERT_FALSE(detector.alerts().empty());
+  bool downgrade = false;
+  for (const auto& a : detector.alerts()) {
+    downgrade |= a.type == AlertType::kSecurityDowngrade &&
+                 a.ssid == "MyCorpWifi";
+  }
+  EXPECT_TRUE(downgrade);
+}
+
+TEST_F(DefenseTest, OperatorMonitorSpotsForeignTwin) {
+  const auto real_bssid = *MacAddress::parse("02:00:00:00:00:30");
+  RogueApMonitor::Config mcfg;
+  mcfg.authorized_bssids = {real_bssid};
+  mcfg.operator_ssids = {"Venue-WiFi"};
+  RogueApMonitor monitor(medium_, {15, 0}, 6, mcfg);
+  monitor.start();
+
+  // An attacker mimics the operator's SSID from a foreign BSSID.
+  core::Attacker::BaseConfig base;
+  base.bssid = *MacAddress::parse("0a:00:00:00:00:69");
+  base.pos = {0, 0};
+  core::KarmaAttacker karma(medium_, base);
+  karma.start();
+  client::Smartphone victim(
+      person(5, true, {{"Venue-WiFi", true, world::PnlOrigin::kVenueLocal}}),
+      medium_, {5, 0}, phone_cfg(), rng_.fork("v"));
+  victim.start();
+  events_.run_until(SimTime::seconds(10));
+
+  EXPECT_TRUE(monitor.twin_detected());
+  ASSERT_FALSE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.alerts()[0].type, AlertType::kForeignTwin);
+  EXPECT_EQ(monitor.alerts()[0].bssid, base.bssid);
+}
+
+TEST_F(DefenseTest, OperatorMonitorIgnoresItsOwnAps) {
+  const auto real_bssid = *MacAddress::parse("02:00:00:00:00:31");
+  RogueApMonitor::Config mcfg;
+  mcfg.authorized_bssids = {real_bssid};
+  mcfg.operator_ssids = {"Venue-WiFi"};
+  RogueApMonitor monitor(medium_, {15, 0}, 6, mcfg);
+  monitor.start();
+
+  client::LegitimateAp::Config ap_cfg;
+  ap_cfg.ssid = "Venue-WiFi";
+  ap_cfg.bssid = real_bssid;
+  ap_cfg.pos = {0, 0};
+  client::LegitimateAp ap(medium_, ap_cfg);
+  ap.start();
+  client::Smartphone guest(
+      person(6, false, {{"Venue-WiFi", true, world::PnlOrigin::kVenueLocal}}),
+      medium_, {5, 0}, phone_cfg(), rng_.fork("g"));
+  guest.start();
+  events_.run_until(SimTime::minutes(1));
+  EXPECT_FALSE(monitor.twin_detected());
+}
+
+TEST_F(DefenseTest, OperatorMonitorCatchesDeauthForgery) {
+  const auto real_bssid = *MacAddress::parse("02:00:00:00:00:32");
+  RogueApMonitor::Config mcfg;
+  mcfg.authorized_bssids = {real_bssid};
+  mcfg.deauth_alarm_threshold = 5;
+  RogueApMonitor monitor(medium_, {15, 0}, 6, mcfg);
+  monitor.start();
+
+  core::Attacker::BaseConfig base;
+  base.bssid = *MacAddress::parse("0a:00:00:00:00:6a");
+  base.pos = {0, 0};
+  core::KarmaAttacker attacker(medium_, base);
+  attacker.start();
+  core::DeauthModule::Config dm;
+  dm.target_bssids = {real_bssid};
+  dm.interval = SimTime::seconds(10);
+  core::DeauthModule deauth(medium_, attacker.radio(), dm);
+  deauth.start();
+
+  events_.run_until(SimTime::seconds(15));
+  EXPECT_FALSE(monitor.deauth_forgery_detected());  // only 2 so far
+  events_.run_until(SimTime::minutes(2));
+  EXPECT_TRUE(monitor.deauth_forgery_detected());
+}
+
+TEST(AlertTypeNames, Distinct) {
+  std::set<std::string> names;
+  for (const auto t :
+       {AlertType::kMultiSsidBssid, AlertType::kSecurityDowngrade,
+        AlertType::kForeignTwin, AlertType::kDeauthForgery}) {
+    names.insert(to_string(t));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cityhunter::defense

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "dot11/crc32.h"
+#include "dot11/frame.h"
+#include "dot11/ie.h"
+#include "dot11/mac_address.h"
+#include "dot11/serialize.h"
+#include "dot11/timing.h"
+#include "support/rng.h"
+
+namespace cityhunter::dot11 {
+namespace {
+
+using support::Rng;
+
+// --- MacAddress ---
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  const auto m = MacAddress::parse("0a:1b:2c:3d:4e:5f");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->str(), "0a:1b:2c:3d:4e:5f");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("0a:1b:2c:3d:4e").has_value());
+  EXPECT_FALSE(MacAddress::parse("0a:1b:2c:3d:4e:5f:6a").has_value());
+  EXPECT_FALSE(MacAddress::parse("0a-1b-2c-3d-4e-5f").has_value());
+  EXPECT_FALSE(MacAddress::parse("zz:1b:2c:3d:4e:5f").has_value());
+  EXPECT_FALSE(MacAddress::parse("0a:1b:2c:3d:4e:5").has_value());
+}
+
+TEST(MacAddress, BroadcastProperties) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  const auto m = MacAddress::parse("0a:00:00:00:00:01");
+  EXPECT_FALSE(m->is_broadcast());
+}
+
+TEST(MacAddress, RandomLocalIsLocalUnicast) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto m = MacAddress::random_local(rng);
+    EXPECT_TRUE(m.is_locally_administered());
+    EXPECT_FALSE(m.is_multicast());
+  }
+}
+
+TEST(MacAddress, FromOuiKeepsOui) {
+  Rng rng(2);
+  const auto m = MacAddress::from_oui({0x00, 0x1d, 0xaa}, rng);
+  EXPECT_EQ(m.octets()[0], 0x00);
+  EXPECT_EQ(m.octets()[1], 0x1d);
+  EXPECT_EQ(m.octets()[2], 0xaa);
+  EXPECT_FALSE(m.is_multicast());
+}
+
+TEST(MacAddress, OrderingAndHash) {
+  const auto a = *MacAddress::parse("00:00:00:00:00:01");
+  const auto b = *MacAddress::parse("00:00:00:00:00:02");
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<MacAddress>{}(a), std::hash<MacAddress>{}(b));
+}
+
+// --- CRC32 ---
+
+TEST(Crc32, KnownVector) {
+  // The canonical check value: CRC32("123456789") = 0xCBF43926.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  std::vector<std::uint8_t> data(100, 0xAB);
+  const auto base = crc32(data);
+  data[50] ^= 0x01;
+  EXPECT_NE(crc32(data), base);
+}
+
+// --- Information elements ---
+
+TEST(IeList, SsidElement) {
+  IeList ies;
+  ies.add_ssid("CoffeeShop");
+  ASSERT_TRUE(ies.ssid().has_value());
+  EXPECT_EQ(*ies.ssid(), "CoffeeShop");
+}
+
+TEST(IeList, EmptySsidIsWildcard) {
+  IeList ies;
+  ies.add_ssid("");
+  ASSERT_TRUE(ies.ssid().has_value());
+  EXPECT_TRUE(ies.ssid()->empty());
+}
+
+TEST(IeList, SsidLengthLimit) {
+  IeList ies;
+  EXPECT_NO_THROW(ies.add_ssid(std::string(32, 'a')));
+  EXPECT_THROW(ies.add_ssid(std::string(33, 'a')), std::length_error);
+}
+
+TEST(IeList, BodyLengthLimit) {
+  IeList ies;
+  EXPECT_THROW(
+      ies.add(ElementId::kVendorSpecific, std::vector<std::uint8_t>(256)),
+      std::length_error);
+}
+
+TEST(IeList, ChannelAndRsn) {
+  IeList ies;
+  ies.add_ds_param(11);
+  EXPECT_EQ(ies.channel().value_or(0), 11);
+  EXPECT_FALSE(ies.has_rsn());
+  ies.add_rsn_wpa2_psk();
+  EXPECT_TRUE(ies.has_rsn());
+}
+
+TEST(IeList, SerializeParseRoundTrip) {
+  IeList ies;
+  ies.add_ssid("Net-1");
+  ies.add_supported_rates();
+  ies.add_ds_param(6);
+  ies.add_rsn_wpa2_psk();
+  std::vector<std::uint8_t> wire;
+  ies.serialize_to(wire);
+  EXPECT_EQ(wire.size(), ies.wire_size());
+  const auto parsed = IeList::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ies);
+}
+
+TEST(IeList, ParseRejectsTruncation) {
+  IeList ies;
+  ies.add_ssid("Hello");
+  std::vector<std::uint8_t> wire;
+  ies.serialize_to(wire);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    const auto parsed =
+        IeList::parse(std::span(wire.data(), wire.size() - cut));
+    EXPECT_FALSE(parsed.has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(IeList, SupportedRatesEncoding) {
+  IeList ies;
+  const double rates[] = {1.0, 5.5, 11.0};
+  ies.add_supported_rates(rates);
+  const auto* e = ies.find(ElementId::kSupportedRates);
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->body.size(), 3u);
+  EXPECT_EQ(e->body[0], 0x80 | 2);   // 1 Mb/s
+  EXPECT_EQ(e->body[1], 0x80 | 11);  // 5.5 Mb/s
+  EXPECT_EQ(e->body[2], 0x80 | 22);  // 11 Mb/s
+}
+
+// --- Frame builders ---
+
+TEST(Frame, BroadcastProbeRequestShape) {
+  Rng rng(3);
+  const auto client = MacAddress::random_local(rng);
+  const auto f = make_broadcast_probe_request(client, 7);
+  EXPECT_EQ(f.subtype(), MgmtSubtype::kProbeRequest);
+  EXPECT_TRUE(f.header.addr1.is_broadcast());
+  EXPECT_EQ(f.header.addr2, client);
+  EXPECT_EQ(f.header.sequence, 7);
+  ASSERT_NE(f.as<ProbeRequest>(), nullptr);
+  EXPECT_TRUE(f.as<ProbeRequest>()->is_broadcast());
+}
+
+TEST(Frame, DirectProbeRequestDisclosesSsid) {
+  Rng rng(3);
+  const auto f =
+      make_direct_probe_request(MacAddress::random_local(rng), "HomeNet");
+  ASSERT_NE(f.as<ProbeRequest>(), nullptr);
+  EXPECT_FALSE(f.as<ProbeRequest>()->is_broadcast());
+  EXPECT_EQ(f.as<ProbeRequest>()->ies.ssid().value_or(""), "HomeNet");
+}
+
+TEST(Frame, ProbeResponseOpenVsProtected) {
+  Rng rng(4);
+  const auto bssid = MacAddress::random_local(rng);
+  const auto client = MacAddress::random_local(rng);
+  const auto open = make_probe_response(bssid, client, "X", 6, true);
+  EXPECT_FALSE(open.as<ProbeResponse>()->capability.privacy());
+  EXPECT_FALSE(open.as<ProbeResponse>()->ies.has_rsn());
+  const auto sec = make_probe_response(bssid, client, "X", 6, false);
+  EXPECT_TRUE(sec.as<ProbeResponse>()->capability.privacy());
+  EXPECT_TRUE(sec.as<ProbeResponse>()->ies.has_rsn());
+}
+
+TEST(Frame, DeauthSpoofsSource) {
+  Rng rng(5);
+  const auto ap = MacAddress::random_local(rng);
+  const auto f = make_deauth(ap, MacAddress::broadcast(), ap,
+                             ReasonCode::kDeauthLeaving);
+  EXPECT_EQ(f.subtype(), MgmtSubtype::kDeauthentication);
+  EXPECT_EQ(f.header.addr2, ap);
+  EXPECT_EQ(f.header.addr3, ap);
+  EXPECT_TRUE(f.header.addr1.is_broadcast());
+}
+
+TEST(Frame, SubtypeNames) {
+  EXPECT_EQ(subtype_name(MgmtSubtype::kBeacon), "beacon");
+  EXPECT_EQ(subtype_name(MgmtSubtype::kProbeRequest), "probe-req");
+  EXPECT_EQ(subtype_name(MgmtSubtype::kDeauthentication), "deauth");
+}
+
+// --- Wire serialization: round-trip over every frame type ---
+
+class FrameRoundTrip : public ::testing::TestWithParam<int> {};
+
+Frame sample_frame(int kind) {
+  Rng rng(100 + kind);
+  const auto a = MacAddress::random_local(rng);
+  const auto b = MacAddress::random_local(rng);
+  switch (kind) {
+    case 0: return make_broadcast_probe_request(a, 1);
+    case 1: return make_direct_probe_request(a, "My Home Net", 2);
+    case 2: return make_probe_response(a, b, "7-Eleven Free Wifi", 6, true, 3);
+    case 3: return make_probe_response(a, b, "Secure-Net", 11, false, 4);
+    case 4: return make_beacon(a, "#HKAirport Free WiFi", 1, true, 99999, 5);
+    case 5: return make_auth_request(a, b, 6);
+    case 6: return make_auth_response(a, b, StatusCode::kSuccess, 7);
+    case 7: return make_assoc_request(a, b, "CSL", 8);
+    case 8: return make_assoc_response(a, b, StatusCode::kSuccess, 42, 9);
+    case 9: return make_deauth(a, b, a, ReasonCode::kInactivity, 10);
+    default: {
+      Frame f{{a, b, a, 11}, Disassociation{ReasonCode::kDeauthLeaving}};
+      return f;
+    }
+  }
+}
+
+TEST_P(FrameRoundTrip, SerializeParseIdentity) {
+  const auto frame = sample_frame(GetParam());
+  const auto bytes = serialize(frame);
+  EXPECT_EQ(bytes.size(), wire_size(frame));
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, frame);
+}
+
+TEST_P(FrameRoundTrip, FcsCorruptionIsDetected) {
+  const auto frame = sample_frame(GetParam());
+  auto bytes = serialize(frame);
+  // Flip one bit in each octet position; every corruption must be caught.
+  for (std::size_t i = 0; i < bytes.size(); i += 7) {
+    auto corrupted = bytes;
+    corrupted[i] ^= 0x40;
+    EXPECT_FALSE(parse(corrupted).has_value()) << "octet " << i;
+  }
+}
+
+TEST_P(FrameRoundTrip, TruncationIsRejected) {
+  const auto bytes = serialize(sample_frame(GetParam()));
+  for (std::size_t len = 0; len < bytes.size(); len += 5) {
+    EXPECT_FALSE(parse(std::span(bytes.data(), len)).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFrameKinds, FrameRoundTrip,
+                         ::testing::Range(0, 11));
+
+TEST(Serialize, SequenceNumberSurvives) {
+  Rng rng(6);
+  const auto client = MacAddress::random_local(rng);
+  for (const std::uint16_t seq : {0, 1, 2047, 4095}) {
+    const auto f = make_broadcast_probe_request(client, seq);
+    const auto parsed = parse(serialize(f));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.sequence, seq);
+  }
+}
+
+TEST(Serialize, NonManagementTypeRejected) {
+  Rng rng(7);
+  auto bytes = serialize(
+      make_broadcast_probe_request(MacAddress::random_local(rng)));
+  // Set type bits (2-3 of the first octet) to data (10).
+  bytes[0] = static_cast<std::uint8_t>((bytes[0] & ~0x0C) | 0x08);
+  // Recompute FCS so only the type check can reject.
+  const auto fcs = crc32(std::span(bytes.data(), bytes.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xff);
+  }
+  EXPECT_FALSE(parse(bytes).has_value());
+}
+
+// --- Parser robustness: mutation fuzzing ---
+// Property: for any single-byte mutation of a valid frame, parse() either
+// rejects (almost always, thanks to the FCS) or returns a frame that
+// re-serializes to the same mutated bytes if the FCS is also fixed up.
+// Either way it must never crash or read out of bounds.
+
+class ParseFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParseFuzz, MutatedFramesNeverCrashParser) {
+  Rng rng(500 + GetParam());
+  const auto frame = sample_frame(GetParam() % 11);
+  const auto bytes = serialize(frame);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto mutated = bytes;
+    const auto pos = rng.index(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    const auto parsed = parse(mutated);
+    if (parsed.has_value()) {
+      // Only possible when the FCS happened to still match: re-serializing
+      // must reproduce the mutated buffer exactly.
+      EXPECT_EQ(serialize(*parsed), mutated);
+    }
+  }
+}
+
+TEST_P(ParseFuzz, RandomBytesNeverCrashParser) {
+  Rng rng(900 + GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 200)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const auto parsed = parse(junk);
+    // Random bytes essentially never carry a valid CRC-32 tail.
+    EXPECT_FALSE(parsed.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseFuzz, ::testing::Range(0, 8));
+
+// --- Timing constants ---
+
+TEST(Timing, FortyResponsesFitTheScanWindow) {
+  // The core arithmetic of §III-A: the 20 ms listen window divided by the
+  // effective per-response airtime gives the 40-SSID budget.
+  const auto window = kMinChannelTime + kMaxChannelTime;
+  const double per_response_ms = kProbeResponseAirtime.ms() * 2.0;  // contention
+  EXPECT_EQ(static_cast<int>(window.ms() / per_response_ms),
+            kProbeResponseBudget);
+}
+
+TEST(Timing, AirtimeMatchesPaperEstimate) {
+  // A typical probe response is ~80-120 octets; at 11 Mb/s plus preamble the
+  // paper's 0.25 ms estimate should hold.
+  const auto t = airtime(90, kMgmtRateMbps);
+  EXPECT_NEAR(t.ms(), 0.25, 0.05);
+}
+
+}  // namespace
+}  // namespace cityhunter::dot11

@@ -1,0 +1,197 @@
+// End-to-end integration tests: the paper's qualitative claims must hold on
+// full campaign runs. These are the repository's regression net for the
+// reproduction itself — if a refactor silently breaks a mechanism (untried
+// tracking, WiGLE seeding, freshness), a shape check here fails.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace cityhunter::sim {
+namespace {
+
+using support::SimTime;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static ScenarioConfig scenario() {
+    ScenarioConfig cfg;
+    cfg.seed = 42;
+    return cfg;
+  }
+
+  static RunOutput run(World& world, AttackerKind kind,
+                       mobility::VenueConfig venue, double clients,
+                       SimTime duration, std::uint64_t run_seed = 1) {
+    RunConfig cfg;
+    cfg.kind = kind;
+    cfg.venue = std::move(venue);
+    cfg.slot.expected_clients = clients;
+    cfg.duration = duration;
+    cfg.run_seed = run_seed;
+    return run_campaign(world, cfg);
+  }
+};
+
+TEST_F(IntegrationTest, AttackerOrderingHoldsInTheCanteen) {
+  // Table I + II: KARMA < MANA < City-Hunter on overall hit rate, and the
+  // broadcast hit rate goes 0 -> small -> large.
+  World world(scenario());
+  const auto karma = run(world, AttackerKind::kKarma,
+                         mobility::canteen_venue(), 640,
+                         SimTime::minutes(30));
+  const auto mana = run(world, AttackerKind::kMana,
+                        mobility::canteen_venue(), 640, SimTime::minutes(30));
+  const auto hunter = run(world, AttackerKind::kCityHunter,
+                          mobility::canteen_venue(), 640,
+                          SimTime::minutes(30));
+
+  EXPECT_EQ(karma.result.h_b(), 0.0);
+  EXPECT_GT(mana.result.h_b(), 0.005);
+  EXPECT_GT(hunter.result.h_b(), 2 * mana.result.h_b());
+  EXPECT_GT(hunter.result.h(), karma.result.h());
+  // Headline claim: h_b lands in the 12-18% band the paper reports.
+  EXPECT_GT(hunter.result.h_b(), 0.10);
+  EXPECT_LT(hunter.result.h_b(), 0.25);
+}
+
+TEST_F(IntegrationTest, HuntingIsHarderInThePassage) {
+  // Fig 5: mobility reduces h_b (canteen > passage for the same attacker).
+  World world(scenario());
+  const auto canteen = run(world, AttackerKind::kCityHunter,
+                           mobility::canteen_venue(), 640,
+                           SimTime::minutes(30), 5);
+  const auto passage = run(world, AttackerKind::kCityHunter,
+                           mobility::subway_passage_venue(), 1000,
+                           SimTime::hours(1), 6);
+  EXPECT_GT(canteen.result.h_b(), passage.result.h_b());
+  EXPECT_GT(passage.result.h_b(), 0.04);  // but still far above MANA
+}
+
+TEST_F(IntegrationTest, OverallHitRateAlwaysAtLeastBroadcastRate) {
+  // Fig 5 second observation: h > h_b in every venue (direct probers are
+  // easier prey).
+  World world(scenario());
+  for (const auto& venue :
+       {mobility::canteen_venue(), mobility::subway_passage_venue(),
+        mobility::shopping_center_venue()}) {
+    const auto out = run(world, AttackerKind::kCityHunter, venue, 500,
+                         SimTime::minutes(30));
+    EXPECT_GE(out.result.h(), out.result.h_b()) << venue.name;
+  }
+}
+
+TEST_F(IntegrationTest, WigleSeedDominatesHitSources) {
+  // Fig 6 first observation: WiGLE contributes more successful SSIDs than
+  // direct probes; popularity more than freshness.
+  World world(scenario());
+  const auto out = run(world, AttackerKind::kCityHunter,
+                       mobility::canteen_venue(), 640, SimTime::minutes(30));
+  EXPECT_GT(out.result.hits_from_wigle, out.result.hits_from_direct_db);
+  EXPECT_GT(out.result.hits_via_popularity, out.result.hits_via_freshness);
+  EXPECT_GT(out.result.hits_via_freshness, 0u);  // but freshness does work
+}
+
+TEST_F(IntegrationTest, PassageTriesAreQuantisedAtFortySsids) {
+  // Fig 2(b): in the passage, most broadcast clients receive exactly one
+  // 40-SSID train.
+  World world(scenario());
+  const auto out = run(world, AttackerKind::kCityHunter,
+                       mobility::subway_passage_venue(), 1200,
+                       SimTime::hours(1));
+  std::size_t one_train = 0, total = 0;
+  for (const int n : out.result.ssids_sent_all_broadcast) {
+    ++total;
+    if (n >= 40 && n < 80) ++one_train;
+  }
+  ASSERT_GT(total, 300u);
+  EXPECT_GT(static_cast<double>(one_train) / static_cast<double>(total), 0.5);
+}
+
+TEST_F(IntegrationTest, CanteenVictimsReceiveDeepSweeps) {
+  // Fig 2(a): connected canteen clients were tried with far more than 40
+  // SSIDs on average.
+  World world(scenario());
+  const auto out = run(world, AttackerKind::kCityHunter,
+                       mobility::canteen_venue(), 640, SimTime::minutes(30));
+  EXPECT_GT(out.result.mean_ssids_sent_connected(), 40.0);
+}
+
+TEST_F(IntegrationTest, ManaEfficiencyDoesNotGrowWithDatabase) {
+  // Fig 1: MANA's windowed hit rate must not trend upward even though its
+  // database keeps growing.
+  World world(scenario());
+  RunConfig cfg;
+  cfg.kind = AttackerKind::kMana;
+  cfg.venue = mobility::canteen_venue();
+  cfg.slot.expected_clients = 640;
+  cfg.duration = SimTime::minutes(30);
+  cfg.sample_every = SimTime::minutes(1);
+  const auto out = run_campaign(world, cfg);
+
+  ASSERT_GE(out.series.size(), 2u);
+  EXPECT_GT(out.series.back().db_size, 2 * out.series.front().db_size);
+
+  double first = 0, second = 0;
+  std::size_t nf = 0, ns = 0;
+  for (std::size_t i = 0; i < out.window_rates.size(); ++i) {
+    const auto& w = out.window_rates[i];
+    if (w.broadcast_clients == 0) continue;
+    if (i < out.window_rates.size() / 2) {
+      first += w.rate();
+      ++nf;
+    } else {
+      second += w.rate();
+      ++ns;
+    }
+  }
+  ASSERT_GT(nf, 0u);
+  ASSERT_GT(ns, 0u);
+  // No doubling of efficiency despite the database tripling.
+  EXPECT_LT(second / ns, 2.0 * (first / nf) + 0.05);
+}
+
+TEST_F(IntegrationTest, HeatSeededBeatsApCountSeededWhereCrowdsMatter) {
+  // Table IV's purpose: weighting by heat should not be worse than raw AP
+  // counts (the airport/hot-area SSIDs are reachable only via heat).
+  World world(scenario());
+  RunConfig heat_cfg;
+  heat_cfg.kind = AttackerKind::kCityHunter;
+  heat_cfg.venue = mobility::railway_station_venue();
+  heat_cfg.slot.expected_clients = 900;
+  heat_cfg.duration = SimTime::minutes(30);
+  heat_cfg.run_seed = 9;
+  const auto heat = run_campaign(world, heat_cfg);
+
+  auto count_cfg = heat_cfg;
+  count_cfg.wigle_seed.ranking = core::PopularRanking::kApCount;
+  const auto count = run_campaign(world, count_cfg);
+
+  EXPECT_GE(heat.result.broadcast_connected + 5,
+            count.result.broadcast_connected);
+}
+
+TEST_F(IntegrationTest, DirectClientCountsMatchPaperScale) {
+  // ~14% of clients still send direct probes (85/614 .. 178/1356).
+  World world(scenario());
+  const auto out = run(world, AttackerKind::kCityHunter,
+                       mobility::canteen_venue(), 640, SimTime::minutes(30));
+  const double frac = static_cast<double>(out.result.direct_clients) /
+                      static_cast<double>(out.result.total_clients);
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.22);
+}
+
+TEST_F(IntegrationTest, AdaptiveBuffersMoveTowardFreshnessInGroupVenues) {
+  // §IV-C: with strongly grouped crowds, FB-ghost hits should push the
+  // split away from the pure-popularity extreme at least sometimes; at
+  // minimum the split must stay within bounds.
+  World world(scenario());
+  const auto out = run(world, AttackerKind::kCityHunter,
+                       mobility::canteen_venue(), 900, SimTime::hours(1));
+  EXPECT_GE(out.final_pb_size, 2);
+  EXPECT_LE(out.final_pb_size, 38);
+  EXPECT_EQ(out.final_pb_size + out.final_fb_size, 40);
+}
+
+}  // namespace
+}  // namespace cityhunter::sim

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dot11/serialize.h"
+#include "dot11/timing.h"
+#include "medium/event_queue.h"
+#include "medium/medium.h"
+#include "medium/propagation.h"
+#include "support/rng.h"
+
+namespace cityhunter::medium {
+namespace {
+
+using dot11::MacAddress;
+using support::Rng;
+using support::SimTime;
+
+// --- EventQueue ---
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::seconds(3.0), [&] { order.push_back(3); });
+  q.schedule_at(SimTime::seconds(1.0), [&] { order.push_back(1); });
+  q.schedule_at(SimTime::seconds(2.0), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), SimTime::seconds(3.0));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(SimTime::seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWhenEmpty) {
+  EventQueue q;
+  q.run_until(SimTime::minutes(5.0));
+  EXPECT_EQ(q.now(), SimTime::minutes(5.0));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(SimTime::seconds(1.0), [&] { ++fired; });
+  q.schedule_at(SimTime::seconds(10.0), [&] { ++fired; });
+  q.run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule_in(SimTime::seconds(1.0), [&] { ++fired; });
+  h.cancel();
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelTwiceIsSafe) {
+  EventQueue q;
+  auto h = q.schedule_in(SimTime::seconds(1.0), [] {});
+  h.cancel();
+  h.cancel();
+  q.run_all();
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(SimTime::seconds(1.0), recurse);
+  };
+  q.schedule_in(SimTime::seconds(1.0), recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), SimTime::seconds(5.0));
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule_at(SimTime::seconds(2.0), [] {});
+  q.run_until(SimTime::seconds(3.0));
+  EXPECT_THROW(q.schedule_at(SimTime::seconds(1.0), [] {}),
+               std::invalid_argument);
+}
+
+// --- Propagation ---
+
+TEST(Propagation, PowerDecreasesWithDistance) {
+  LogDistancePathLoss model;
+  const double p10 = model.rx_power_dbm(20.0, 10.0);
+  const double p50 = model.rx_power_dbm(20.0, 50.0);
+  EXPECT_GT(p10, p50);
+}
+
+TEST(Propagation, ClampInsideReferenceDistance) {
+  LogDistancePathLoss model;
+  EXPECT_DOUBLE_EQ(model.rx_power_dbm(20.0, 0.1),
+                   model.rx_power_dbm(20.0, 1.0));
+}
+
+TEST(Propagation, MaxRangeConsistentWithDeliverable) {
+  LogDistancePathLoss model;
+  const double r = model.max_range(20.0);
+  EXPECT_TRUE(model.deliverable(20.0, r * 0.99));
+  EXPECT_FALSE(model.deliverable(20.0, r * 1.01));
+}
+
+TEST(Propagation, DefaultRangeMatchesRaspberryPiScale) {
+  LogDistancePathLoss model;
+  const double r = model.max_range(20.0);  // 100 mW attacker
+  EXPECT_GT(r, 40.0);
+  EXPECT_LT(r, 90.0);
+}
+
+TEST(Propagation, DbmConversion) {
+  EXPECT_DOUBLE_EQ(dbm_from_milliwatts(100.0), 20.0);
+  EXPECT_DOUBLE_EQ(dbm_from_milliwatts(1.0), 0.0);
+}
+
+// --- Medium ---
+
+class Collector : public FrameSink {
+ public:
+  void on_frame(const dot11::Frame& frame, const RxInfo& info) override {
+    frames.push_back(frame);
+    infos.push_back(info);
+  }
+  std::vector<dot11::Frame> frames;
+  std::vector<RxInfo> infos;
+};
+
+class MediumTest : public ::testing::Test {
+ protected:
+  EventQueue events;
+  Medium medium{events};
+  Rng rng{1};
+};
+
+TEST_F(MediumTest, DeliversWithinRange) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  auto b = medium.attach({30, 0}, 6, 15.0, &rx);
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  ASSERT_EQ(rx.frames.size(), 1u);
+  EXPECT_EQ(rx.frames[0].subtype(), dot11::MgmtSubtype::kProbeRequest);
+  EXPECT_LT(rx.infos[0].rssi_dbm, -30.0);
+  (void)b;
+}
+
+TEST_F(MediumTest, DropsBeyondRange) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  medium.attach({5000, 0}, 6, 15.0, &rx);
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_TRUE(rx.frames.empty());
+}
+
+TEST_F(MediumTest, ChannelIsolation) {
+  Collector rx6, rx11;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  medium.attach({10, 0}, 6, 15.0, &rx6);
+  medium.attach({10, 0}, 11, 15.0, &rx11);
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(rx6.frames.size(), 1u);
+  EXPECT_TRUE(rx11.frames.empty());
+}
+
+TEST_F(MediumTest, SenderDoesNotHearItself) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0, &rx);
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_TRUE(rx.frames.empty());
+}
+
+TEST_F(MediumTest, TransmissionsAreSerializedWithAirtime) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  medium.attach({10, 0}, 6, 15.0, &rx);
+  const auto client = MacAddress::random_local(rng);
+  for (int i = 0; i < 10; ++i) {
+    a.transmit(dot11::make_probe_response(MacAddress::random_local(rng),
+                                          client, "X", 6, true));
+  }
+  // After one frame's effective airtime only the first frame has landed.
+  const auto one_frame =
+      dot11::airtime(dot11::wire_size(dot11::make_probe_response(
+                         MacAddress::random_local(rng), client, "X", 6, true)),
+                     medium.config().mgmt_rate_mbps) *
+      medium.config().contention_factor;
+  events.run_until(one_frame + SimTime::microseconds(10));
+  EXPECT_EQ(rx.frames.size(), 1u);
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(rx.frames.size(), 10u);
+}
+
+TEST_F(MediumTest, FortyResponsesFitInScanWindow) {
+  // End-to-end confirmation of the paper's 40-response budget: a full
+  // 40-frame train completes within the 20 ms listen window, a longer train
+  // does not.
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  medium.attach({10, 0}, 6, 15.0, &rx);
+  const auto client = MacAddress::random_local(rng);
+  for (int i = 0; i < 100; ++i) {
+    a.transmit(dot11::make_probe_response(MacAddress::random_local(rng),
+                                          client, "SSID-xx", 6, true));
+  }
+  events.run_until(dot11::kMinChannelTime + dot11::kMaxChannelTime);
+  EXPECT_GE(rx.frames.size(), 35u);
+  EXPECT_LE(rx.frames.size(), 45u);
+}
+
+TEST_F(MediumTest, ClearTxQueueAbortsPendingFrames) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  medium.attach({10, 0}, 6, 15.0, &rx);
+  const auto client = MacAddress::random_local(rng);
+  for (int i = 0; i < 20; ++i) {
+    a.transmit(dot11::make_probe_response(MacAddress::random_local(rng),
+                                          client, "Y", 6, true));
+  }
+  a.clear_tx_queue();
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_TRUE(rx.frames.empty());
+  EXPECT_EQ(a.tx_backlog(), 0u);
+}
+
+TEST_F(MediumTest, MovedRadioStopsReceiving) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  auto b = medium.attach({10, 0}, 6, 15.0, &rx);
+  b.set_position({4000, 4000});
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_TRUE(rx.frames.empty());
+}
+
+TEST_F(MediumTest, DetachedRadioIsGone) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  auto b = medium.attach({10, 0}, 6, 15.0, &rx);
+  medium.detach(b);
+  EXPECT_FALSE(b.valid());
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_TRUE(rx.frames.empty());
+}
+
+TEST_F(MediumTest, CountersTrack) {
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  auto b = medium.attach({10, 0}, 6, 15.0, &rx);
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_EQ(a.frames_sent(), 1u);
+  EXPECT_EQ(b.frames_received(), 1u);
+  EXPECT_EQ(medium.transmissions(), 1u);
+  EXPECT_EQ(medium.deliveries(), 1u);
+}
+
+TEST_F(MediumTest, SinkMayDetachRadiosDuringDelivery) {
+  // A sink that detaches another radio mid-fanout must not crash delivery.
+  struct Detacher : FrameSink {
+    Medium* medium = nullptr;
+    Radio* victim = nullptr;
+    void on_frame(const dot11::Frame&, const RxInfo&) override {
+      if (victim->valid()) medium->detach(*victim);
+    }
+  };
+  Detacher d;
+  Collector rx;
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  auto b = medium.attach({5, 0}, 6, 15.0, &d);
+  auto c = medium.attach({10, 0}, 6, 15.0, &rx);
+  d.medium = &medium;
+  d.victim = &c;
+  a.transmit(dot11::make_broadcast_probe_request(
+      MacAddress::random_local(rng)));
+  events.run_until(SimTime::seconds(1.0));
+  EXPECT_FALSE(c.valid());
+  EXPECT_TRUE(rx.frames.empty());  // c was detached before its delivery
+  (void)b;
+}
+
+}  // namespace
+}  // namespace cityhunter::medium

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/karma.h"
+#include "mobility/population.h"
+#include "mobility/venue.h"
+#include "support/rng.h"
+#include "world/ap_generator.h"
+
+namespace cityhunter::mobility {
+namespace {
+
+using support::Rng;
+using support::SimTime;
+
+// --- Venue presets ---
+
+TEST(VenuePresets, FourVenuesWithExpectedPatterns) {
+  EXPECT_EQ(subway_passage_venue().pattern, MobilityPattern::kFlow);
+  EXPECT_EQ(canteen_venue().pattern, MobilityPattern::kStatic);
+  EXPECT_EQ(shopping_center_venue().pattern, MobilityPattern::kHybrid);
+  EXPECT_EQ(railway_station_venue().pattern, MobilityPattern::kHybrid);
+}
+
+TEST(VenuePresets, PassageHasTwoCommutePeaks) {
+  const auto v = subway_passage_venue();
+  // 8-9am and 6-7pm are the two largest slots.
+  double max1 = 0, max2 = 0;
+  int i1 = -1, i2 = -1;
+  for (int i = 0; i < 12; ++i) {
+    const double c = v.hourly_clients[static_cast<std::size_t>(i)];
+    if (c > max1) {
+      max2 = max1;
+      i2 = i1;
+      max1 = c;
+      i1 = i;
+    } else if (c > max2) {
+      max2 = c;
+      i2 = i;
+    }
+  }
+  EXPECT_TRUE((i1 == 0 && i2 == 10) || (i1 == 10 && i2 == 0));
+}
+
+TEST(VenuePresets, CanteenPeaksAtMealtimes) {
+  const auto v = canteen_venue();
+  // Lunch (12-1pm, slot 4) beats mid-afternoon (3-4pm, slot 7).
+  EXPECT_GT(v.hourly_clients[4], 2 * v.hourly_clients[7]);
+  // Dinner (6-7pm, slot 10) beats mid-afternoon too.
+  EXPECT_GT(v.hourly_clients[10], 2 * v.hourly_clients[7]);
+}
+
+TEST(VenuePresets, GroupFractionRisesInRushHours) {
+  for (const auto& v : {subway_passage_venue(), railway_station_venue()}) {
+    EXPECT_GT(v.hourly_group_fraction[0], v.hourly_group_fraction[2]);
+  }
+}
+
+TEST(VenuePresets, SlotLabels) {
+  EXPECT_EQ(slot_label(0), "8am-9am");
+  EXPECT_EQ(slot_label(4), "12pm-1pm");
+  EXPECT_EQ(slot_label(11), "7pm-8pm");
+  EXPECT_EQ(slot_label(-1), "?");
+  EXPECT_EQ(slot_label(12), "?");
+}
+
+// --- VenuePopulation ---
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  PopulationTest()
+      : medium_(events_),
+        rng_(7),
+        city_(),
+        aps_(world::generate_aps(city_, rng_, world::default_ap_population())),
+        pnl_(city_, aps_) {}
+
+  medium::EventQueue events_;
+  medium::Medium medium_;
+  Rng rng_;
+  world::CityModel city_;
+  std::vector<world::AccessPointInfo> aps_;
+  world::PnlModel pnl_;
+};
+
+TEST_F(PopulationTest, SpawnsRoughlyExpectedClients) {
+  VenuePopulation pop(medium_, pnl_, canteen_venue(),
+                      client::SmartphoneConfig{}, rng_.fork("pop"));
+  SlotParams slot;
+  slot.expected_clients = 300;
+  pop.schedule_slot(SimTime::minutes(30), slot);
+  events_.run_until(SimTime::minutes(30));
+  EXPECT_GT(pop.clients_spawned(), 200u);
+  EXPECT_LT(pop.clients_spawned(), 420u);
+}
+
+TEST_F(PopulationTest, FlowClientsCrossAndDepart) {
+  auto venue = subway_passage_venue();
+  VenuePopulation pop(medium_, pnl_, venue, client::SmartphoneConfig{},
+                      rng_.fork("pop"));
+  SlotParams slot;
+  slot.expected_clients = 100;
+  pop.schedule_slot(SimTime::minutes(10), slot);
+  // After venue crossing time everyone spawned early has stopped.
+  events_.run_until(SimTime::minutes(20));
+  std::size_t started = 0, still_connected_radio = 0;
+  for (const auto& phone : pop.phones()) {
+    if (!phone->started()) continue;
+    ++started;
+    // Position must have advanced beyond the entry edge.
+    EXPECT_GT(phone->position().x, -venue.extent_m / 2);
+  }
+  EXPECT_GT(started, 50u);
+  (void)still_connected_radio;
+}
+
+TEST_F(PopulationTest, StaticClientsStayPut) {
+  VenuePopulation pop(medium_, pnl_, canteen_venue(),
+                      client::SmartphoneConfig{}, rng_.fork("pop"));
+  SlotParams slot;
+  slot.expected_clients = 50;
+  pop.schedule_slot(SimTime::minutes(5), slot);
+  events_.run_until(SimTime::minutes(5));
+  ASSERT_GT(pop.clients_spawned(), 10u);
+  // Record positions, advance time, positions unchanged.
+  std::vector<medium::Position> before;
+  for (const auto& phone : pop.phones()) before.push_back(phone->position());
+  events_.run_until(SimTime::minutes(8));
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(pop.phones()[i]->position(), before[i]);
+  }
+}
+
+TEST_F(PopulationTest, GroupsArriveTogether) {
+  auto venue = canteen_venue();
+  venue.group_fraction = 1.0;  // groups only
+  VenuePopulation pop(medium_, pnl_, venue, client::SmartphoneConfig{},
+                      rng_.fork("pop"));
+  SlotParams slot;
+  slot.expected_clients = 60;
+  pop.schedule_slot(SimTime::minutes(10), slot);
+  events_.run_until(SimTime::minutes(10));
+  // Every spawned person belongs to a group, and group members sit close.
+  std::map<std::uint64_t, std::vector<const client::Smartphone*>> groups;
+  for (const auto& phone : pop.phones()) {
+    ASSERT_NE(phone->person().group_id, 0u);
+    groups[phone->person().group_id].push_back(phone.get());
+  }
+  EXPECT_GT(groups.size(), 5u);
+  for (const auto& [gid, members] : groups) {
+    ASSERT_GE(members.size(), 2u);
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      EXPECT_LT(medium::distance(members[0]->position(),
+                                 members[i]->position()),
+                10.0);
+    }
+  }
+}
+
+TEST_F(PopulationTest, PreAssociatedFractionHoldsOffProbing) {
+  // With every client pre-associated to a (absent) legit AP, an attacker
+  // hears nothing for the whole slot.
+  core::Attacker::BaseConfig base;
+  base.bssid = *dot11::MacAddress::parse("0a:00:00:00:00:55");
+  base.pos = {0, 0};
+  core::KarmaAttacker attacker(medium_, base);
+  attacker.start();
+
+  VenuePopulation pop(medium_, pnl_, canteen_venue(),
+                      client::SmartphoneConfig{}, rng_.fork("pop"));
+  SlotParams slot;
+  slot.expected_clients = 60;
+  slot.pre_associated_fraction = 1.0;
+  slot.legit_ap = *dot11::MacAddress::parse("02:00:00:00:00:01");
+  pop.schedule_slot(SimTime::minutes(10), slot);
+  events_.run_until(SimTime::minutes(10));
+  EXPECT_GT(pop.clients_spawned(), 20u);
+  EXPECT_EQ(attacker.clients_seen(), 0u);
+}
+
+TEST_F(PopulationTest, ZeroClientsIsFine) {
+  VenuePopulation pop(medium_, pnl_, canteen_venue(),
+                      client::SmartphoneConfig{}, rng_.fork("pop"));
+  SlotParams slot;
+  slot.expected_clients = 0;
+  pop.schedule_slot(SimTime::minutes(5), slot);
+  events_.run_until(SimTime::minutes(5));
+  EXPECT_EQ(pop.clients_spawned(), 0u);
+}
+
+}  // namespace
+}  // namespace cityhunter::mobility

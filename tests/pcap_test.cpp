@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "dot11/pcap.h"
+#include "dot11/serialize.h"
+#include "medium/medium.h"
+#include "medium/pcap_recorder.h"
+#include "support/rng.h"
+
+namespace cityhunter::dot11 {
+namespace {
+
+using support::Rng;
+using support::SimTime;
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Pcap, WriteReadRoundTrip) {
+  TempFile file("roundtrip.pcap");
+  Rng rng(1);
+  const auto client = MacAddress::random_local(rng);
+  const auto bssid = MacAddress::random_local(rng);
+  std::vector<Frame> frames = {
+      make_broadcast_probe_request(client, 1),
+      make_probe_response(bssid, client, "7-Eleven Free Wifi", 6, true, 2),
+      make_auth_request(client, bssid, 3),
+      make_assoc_response(bssid, client, StatusCode::kSuccess, 1, 4),
+  };
+  {
+    PcapWriter writer(file.path());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      writer.write(frames[i], SimTime::milliseconds(
+                                  static_cast<std::int64_t>(i) * 10));
+    }
+    EXPECT_EQ(writer.frames_written(), frames.size());
+  }
+  const auto records = read_pcap(file.path());
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ((*records)[i].timestamp,
+              SimTime::milliseconds(static_cast<std::int64_t>(i) * 10));
+    const auto parsed = parse((*records)[i].bytes);
+    ASSERT_TRUE(parsed.has_value()) << "record " << i;
+    EXPECT_EQ(*parsed, frames[i]);
+  }
+}
+
+TEST(Pcap, GlobalHeaderIsWellFormed) {
+  TempFile file("header.pcap");
+  { PcapWriter writer(file.path()); }
+  std::ifstream in(file.path(), std::ios::binary);
+  unsigned char header[24];
+  ASSERT_TRUE(in.read(reinterpret_cast<char*>(header), 24));
+  // Magic a1b2c3d4 little-endian.
+  EXPECT_EQ(header[0], 0xd4);
+  EXPECT_EQ(header[1], 0xc3);
+  EXPECT_EQ(header[2], 0xb2);
+  EXPECT_EQ(header[3], 0xa1);
+  // Link type 105 at offset 20.
+  EXPECT_EQ(header[20], 105);
+  EXPECT_EQ(header[21], 0);
+}
+
+TEST(Pcap, TimestampSplitsSecondsAndMicros) {
+  TempFile file("ts.pcap");
+  Rng rng(2);
+  {
+    PcapWriter writer(file.path());
+    writer.write(make_broadcast_probe_request(MacAddress::random_local(rng)),
+                 SimTime::microseconds(3 * 1000000 + 250000));
+  }
+  const auto records = read_pcap(file.path());
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].timestamp.us(), 3250000);
+}
+
+TEST(Pcap, ReadRejectsGarbage) {
+  TempFile file("garbage.pcap");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "this is not a pcap file at all, sorry";
+  }
+  EXPECT_FALSE(read_pcap(file.path()).has_value());
+  EXPECT_FALSE(read_pcap("/nonexistent/path.pcap").has_value());
+}
+
+TEST(Pcap, ReadRejectsTruncatedRecord) {
+  TempFile file("trunc.pcap");
+  Rng rng(3);
+  {
+    PcapWriter writer(file.path());
+    writer.write(make_broadcast_probe_request(MacAddress::random_local(rng)),
+                 SimTime::zero());
+  }
+  // Chop the last 5 bytes off.
+  std::ifstream in(file.path(), std::ios::binary);
+  std::vector<char> all((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  in.close();
+  all.resize(all.size() - 5);
+  std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+  out.write(all.data(), static_cast<std::streamsize>(all.size()));
+  out.close();
+  EXPECT_FALSE(read_pcap(file.path()).has_value());
+}
+
+TEST(Pcap, WriterThrowsOnUnopenablePath) {
+  EXPECT_THROW(PcapWriter("/nonexistent-dir/x.pcap"), std::runtime_error);
+}
+
+TEST(PcapRecorder, CapturesLiveTraffic) {
+  TempFile file("live.pcap");
+  medium::EventQueue events;
+  medium::Medium medium(events);
+  Rng rng(4);
+  {
+    medium::PcapRecorder recorder(file.path());
+    auto monitor = medium.attach({5, 0}, 6, 0.0, &recorder);
+    auto tx = medium.attach({0, 0}, 6, 20.0);
+    for (int i = 0; i < 7; ++i) {
+      tx.transmit(make_broadcast_probe_request(MacAddress::random_local(rng),
+                                               static_cast<std::uint16_t>(i)));
+    }
+    events.run_until(SimTime::seconds(1));
+    EXPECT_EQ(recorder.writer().frames_written(), 7u);
+    recorder.writer().flush();
+    medium.detach(monitor);
+    medium.detach(tx);
+  }
+  const auto records = read_pcap(file.path());
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 7u);
+  // Timestamps are monotone (serialized transmissions).
+  for (std::size_t i = 1; i < records->size(); ++i) {
+    EXPECT_GT((*records)[i].timestamp, (*records)[i - 1].timestamp);
+  }
+  // Every captured frame is parseable 802.11.
+  for (const auto& rec : *records) {
+    EXPECT_TRUE(parse(rec.bytes).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace cityhunter::dot11

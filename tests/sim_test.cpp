@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/export.h"
+#include "sim/scenario.h"
+
+namespace cityhunter::sim {
+namespace {
+
+using support::SimTime;
+
+ScenarioConfig small_scenario(std::uint64_t seed = 7) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  // Shrink the world so these tests stay fast.
+  cfg.aps.residential_ap_count = 800;
+  cfg.aps.small_venue_count = 400;
+  cfg.aps.enterprise_ap_count = 150;
+  cfg.photos.photo_count = 8000;
+  return cfg;
+}
+
+RunConfig small_run(AttackerKind kind) {
+  RunConfig run;
+  run.kind = kind;
+  run.venue = mobility::canteen_venue();
+  run.slot.expected_clients = 120;
+  run.duration = SimTime::minutes(10);
+  return run;
+}
+
+TEST(World, BuildsAllPieces) {
+  World world(small_scenario());
+  EXPECT_GT(world.aps().size(), 1000u);
+  EXPECT_GT(world.wigle().size(), 500u);
+  EXPECT_LT(world.wigle().size(), world.aps().size());
+  EXPECT_GT(world.heat().max_cell(), 0.0);
+  EXPECT_FALSE(world.pnl_model().ranked_public_ssids().empty());
+}
+
+TEST(World, VenueApsExistForEveryVenue) {
+  World world(small_scenario());
+  std::set<std::string> ssids;
+  for (const auto& ap : world.aps()) ssids.insert(ap.ssid);
+  EXPECT_TRUE(ssids.count("MTR Free Wi-Fi"));
+  EXPECT_TRUE(ssids.count("Canteen-Free-WiFi"));
+  EXPECT_TRUE(ssids.count("HarbourMall-Guest"));
+  EXPECT_TRUE(ssids.count("RailwayStation-Free"));
+}
+
+TEST(World, VenuePositionsAreDistinct) {
+  std::set<std::pair<double, double>> seen;
+  for (const char* name : {"subway-passage", "canteen", "shopping-center",
+                           "railway-station"}) {
+    const auto p = venue_city_position(name);
+    EXPECT_TRUE(seen.insert({p.x, p.y}).second) << name;
+  }
+  // Unknown venue falls back to the city centre.
+  const auto fallback = venue_city_position("nowhere");
+  EXPECT_DOUBLE_EQ(fallback.x, 5000);
+}
+
+TEST(World, LocalPublicSsidsAreNearby) {
+  World world(small_scenario());
+  const auto pos = venue_city_position("canteen");
+  const auto local = world.local_public_ssids(pos, 500.0);
+  EXPECT_FALSE(local.empty());
+  // Every returned SSID has at least one open AP within the radius.
+  for (const auto& ssid : local) {
+    bool found = false;
+    for (const auto& ap : world.aps()) {
+      if (ap.ssid == ssid && ap.open &&
+          medium::distance(ap.pos, pos) <= 500.0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << ssid;
+  }
+}
+
+TEST(RunCampaign, DeterministicForSameSeeds) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kCityHunter);
+  const auto a = run_campaign(world, run);
+  // NOTE: PnlModel is stateful (person ids), so a fresh world is needed for
+  // an identical rerun.
+  World world2(small_scenario());
+  const auto b = run_campaign(world2, run);
+  EXPECT_EQ(a.result.total_clients, b.result.total_clients);
+  EXPECT_EQ(a.result.broadcast_connected, b.result.broadcast_connected);
+  EXPECT_EQ(a.db_final_size, b.db_final_size);
+}
+
+TEST(RunCampaign, DifferentRunSeedsDiffer) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kCityHunter);
+  run.run_seed = 1;
+  const auto a = run_campaign(world, run);
+  run.run_seed = 2;
+  const auto b = run_campaign(world, run);
+  EXPECT_NE(a.result.total_clients, b.result.total_clients);
+}
+
+TEST(RunCampaign, KarmaGetsZeroBroadcastHits) {
+  World world(small_scenario());
+  const auto out = run_campaign(world, small_run(AttackerKind::kKarma));
+  EXPECT_EQ(out.result.broadcast_connected, 0u);
+  EXPECT_EQ(out.db_final_size, 0u);  // KARMA keeps no database
+}
+
+TEST(RunCampaign, ManaDatabaseComesOnlyFromDirectProbes) {
+  World world(small_scenario());
+  const auto out = run_campaign(world, small_run(AttackerKind::kMana));
+  EXPECT_GT(out.db_final_size, 0u);
+  EXPECT_EQ(out.db_from_direct, out.db_final_size);
+}
+
+TEST(RunCampaign, CityHunterDatabaseIsSeededPlusLearned) {
+  World world(small_scenario());
+  const auto out = run_campaign(world, small_run(AttackerKind::kCityHunter));
+  EXPECT_GT(out.db_final_size, 150u);  // WiGLE seed present
+  EXPECT_GT(out.db_from_direct, 0u);   // plus on-site learning
+  EXPECT_LT(out.db_from_direct, out.db_final_size);
+  EXPECT_GT(out.final_pb_size, 0);
+  EXPECT_EQ(out.final_pb_size + out.final_fb_size, 40);
+}
+
+TEST(RunCampaign, SamplingProducesMonotonicSeries) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kMana);
+  run.sample_every = SimTime::minutes(1);
+  const auto out = run_campaign(world, run);
+  ASSERT_EQ(out.series.size(), 10u);
+  for (std::size_t i = 1; i < out.series.size(); ++i) {
+    EXPECT_GE(out.series[i].db_size, out.series[i - 1].db_size);
+    EXPECT_GE(out.series[i].broadcast_connected,
+              out.series[i - 1].broadcast_connected);
+    EXPECT_GT(out.series[i].time, out.series[i - 1].time);
+  }
+}
+
+TEST(RunCampaign, WindowRatesCoverTheDuration) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kCityHunter);
+  const auto out = run_campaign(world, run);
+  EXPECT_EQ(out.window_rates.size(), 5u);  // 10 min / 2 min
+  std::size_t total = 0;
+  for (const auto& w : out.window_rates) total += w.broadcast_clients;
+  EXPECT_EQ(total, out.result.broadcast_clients);
+}
+
+TEST(RunCampaign, CarrierSeedProducesCarrierHits) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kCityHunter);
+  run.slot.expected_clients = 400;
+  run.duration = SimTime::minutes(20);
+  run.seed_carrier_ssids = true;
+  const auto out = run_campaign(world, run);
+  EXPECT_GT(out.result.hits_from_carrier_seed, 0u);
+}
+
+TEST(RunCampaign, DeauthScenarioReachesParkedClients) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kCityHunter);
+  run.slot.expected_clients = 250;
+  run.duration = SimTime::minutes(20);
+  DeauthScenario d;
+  d.pre_associated_fraction = 1.0;  // everyone starts parked
+  d.enable_deauth = false;
+  run.deauth = d;
+  const auto baseline = run_campaign(world, run);
+  EXPECT_EQ(baseline.result.total_clients, 0u);  // nobody ever probes
+
+  d.enable_deauth = true;
+  run.deauth = d;
+  const auto attacked = run_campaign(world, run);
+  EXPECT_GT(attacked.deauths_sent, 0u);
+  EXPECT_GT(attacked.result.total_clients, 50u);
+}
+
+TEST(RunCampaign, WarmStartCarriesLearnedSsids) {
+  World world(small_scenario());
+  auto run = small_run(AttackerKind::kCityHunter);
+  const auto first = run_campaign(world, run);
+  ASSERT_GT(first.db_from_direct, 0u);
+
+  auto warm = small_run(AttackerKind::kCityHunter);
+  warm.run_seed = 2;
+  warm.initial_database = first.database;
+  const auto second = run_campaign(world, warm);
+  // The warm DB contains everything the first slot learned plus new WiGLE
+  // seeding (idempotent) plus the second slot's own learning.
+  EXPECT_GE(second.db_final_size, first.db_final_size);
+  EXPECT_GE(second.db_from_direct, first.db_from_direct);
+}
+
+TEST(Export, ResultsCsvShape) {
+  stats::CampaignResult r;
+  r.label = "X";
+  r.total_clients = 10;
+  r.direct_clients = 2;
+  r.broadcast_clients = 8;
+  r.broadcast_connected = 4;
+  r.hits_from_wigle = 3;
+  const auto csv = results_csv({r});
+  EXPECT_NE(csv.find("label,total,direct"), std::string::npos);
+  EXPECT_NE(csv.find("\"X\",10,2,8,0,4,0.4,0.5,3,0,0,0,0"), std::string::npos);
+  // Header + 1 row = 2 newlines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Export, SeriesAndWindowsCsv) {
+  std::vector<SeriesPoint> series{
+      {support::SimTime::minutes(1), 100, 5},
+      {support::SimTime::minutes(2), 120, 9},
+  };
+  const auto s = series_csv(series);
+  EXPECT_NE(s.find("minutes,db_size,broadcast_connected"), std::string::npos);
+  EXPECT_NE(s.find("1,100,5"), std::string::npos);
+  EXPECT_NE(s.find("2,120,9"), std::string::npos);
+
+  std::vector<stats::WindowRate> windows(1);
+  windows[0].start = support::SimTime::minutes(4);
+  windows[0].broadcast_clients = 8;
+  windows[0].broadcast_connected = 2;
+  const auto w = windows_csv(windows);
+  EXPECT_NE(w.find("4,8,0.25"), std::string::npos);
+}
+
+TEST(AttackerKindNames, Distinct) {
+  std::set<std::string> names;
+  for (const auto k : {AttackerKind::kKarma, AttackerKind::kMana,
+                       AttackerKind::kPrelim, AttackerKind::kCityHunter}) {
+    names.insert(to_string(k));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cityhunter::sim

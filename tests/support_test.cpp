@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/histogram.h"
+#include "support/rng.h"
+#include "support/sim_time.h"
+#include "support/table.h"
+
+namespace cityhunter::support {
+namespace {
+
+// --- SimTime ---
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::milliseconds(1).us(), 1000);
+  EXPECT_EQ(SimTime::seconds(1.0).us(), 1000000);
+  EXPECT_EQ(SimTime::minutes(1.0).us(), 60000000);
+  EXPECT_EQ(SimTime::hours(1.0).us(), 3600000000LL);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto t = SimTime::seconds(2.0) + SimTime::milliseconds(500);
+  EXPECT_DOUBLE_EQ(t.sec(), 2.5);
+  EXPECT_DOUBLE_EQ((t - SimTime::seconds(1.0)).sec(), 1.5);
+  EXPECT_DOUBLE_EQ((SimTime::seconds(10.0) * 0.5).sec(), 5.0);
+}
+
+TEST(SimTime, ComparisonIsTotal) {
+  EXPECT_LT(SimTime::zero(), SimTime::microseconds(1));
+  EXPECT_LE(SimTime::seconds(1.0), SimTime::milliseconds(1000));
+  EXPECT_EQ(SimTime::seconds(1.0), SimTime::milliseconds(1000));
+  EXPECT_GT(SimTime::max(), SimTime::hours(10000));
+}
+
+TEST(SimTime, HumanReadableString) {
+  EXPECT_EQ(SimTime::milliseconds(250).str(), "250.000ms");
+  EXPECT_EQ(SimTime::seconds(5.0).str(), "5.0s");
+  EXPECT_EQ(SimTime::minutes(2.5).str(), "2m30.0s");
+  EXPECT_EQ(SimTime::hours(3.25).str(), "3h15m");
+}
+
+// --- Rng determinism ---
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  Rng parent(77);
+  Rng c1 = parent.fork("mobility");
+  Rng c2 = Rng(77).fork("mobility");
+  // Same parent seed + same label => same child stream.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+  }
+  // Different labels => different streams.
+  Rng c3 = Rng(77).fork("world");
+  Rng c4 = Rng(77).fork("mobility");
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (std::abs(c3.uniform() - c4.uniform()) < 1e-12) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ZipfRankOneIsMostProbable) {
+  Rng rng(9);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const int r = rng.zipf(10, 1.0);
+    ASSERT_GE(r, 1);
+    ASSERT_LE(r, 10);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+  EXPECT_GT(counts[5], 0);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng rng(9);
+  EXPECT_EQ(rng.zipf(1, 1.0), 1);
+  EXPECT_THROW(rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w{1.0, 0.0, 9.0};
+  int c0 = 0, c2 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto idx = rng.weighted_index(w);
+    ASSERT_NE(idx, 1u);  // zero weight never picked
+    if (idx == 0) ++c0;
+    if (idx == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c2) / (c0 + c2), 0.9, 0.03);
+}
+
+TEST(Rng, WeightedIndexRejectsEmptyAndZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto idx = rng.sample_indices(20, 7);
+    ASSERT_EQ(idx.size(), 7u);
+    std::sort(idx.begin(), idx.end());
+    EXPECT_TRUE(std::adjacent_find(idx.begin(), idx.end()) == idx.end());
+    EXPECT_LT(idx.back(), 20u);
+  }
+  // k > n clamps to n.
+  EXPECT_EQ(rng.sample_indices(3, 10).size(), 3u);
+}
+
+TEST(Rng, PoissonMeanRoughlyCorrect) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) sum += rng.poisson(4.0);
+  EXPECT_NEAR(sum / 10000.0, 4.0, 0.1);
+}
+
+// --- Histogram ---
+
+TEST(Histogram, BucketsAndStats) {
+  Histogram h(10.0);
+  for (const double v : {5.0, 15.0, 15.5, 25.0, 25.0, 25.0}) h.add(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+  EXPECT_NEAR(h.mean(), 18.42, 0.01);
+  EXPECT_DOUBLE_EQ(h.fraction_in_bucket(0.0), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction_in_bucket(10.0), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction_in_bucket(20.0), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction_in_bucket(90.0), 0.0);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 0.0);
+  EXPECT_EQ(buckets[2].second, 3u);
+}
+
+TEST(Histogram, RejectsNonPositiveWidth) {
+  EXPECT_THROW(Histogram(0.0), std::invalid_argument);
+  EXPECT_THROW(Histogram(-1.0), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h(1.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ascii(), "(empty)\n");
+}
+
+TEST(Summary, RunningStats) {
+  Summary s;
+  for (const double v : {2.0, 4.0, 6.0, 8.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.stddev(), 2.582, 0.001);
+}
+
+// --- TextTable ---
+
+TEST(TextTable, AlignsColumnsAndPadsMissingCells) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"x"});
+  t.add_row({"longer-cell", "y"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("a           | long-header"), std::string::npos);
+  EXPECT_NE(s.find("longer-cell | y"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::pct(0.159), "15.9%");
+  EXPECT_EQ(TextTable::pct(0.0366, 2), "3.66%");
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1234LL), "1234");
+}
+
+}  // namespace
+}  // namespace cityhunter::support
