@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mac_randomization.dir/ablation_mac_randomization.cpp.o"
+  "CMakeFiles/ablation_mac_randomization.dir/ablation_mac_randomization.cpp.o.d"
+  "ablation_mac_randomization"
+  "ablation_mac_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mac_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

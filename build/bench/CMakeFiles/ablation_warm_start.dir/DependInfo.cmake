@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_warm_start.cpp" "bench/CMakeFiles/ablation_warm_start.dir/ablation_warm_start.cpp.o" "gcc" "bench/CMakeFiles/ablation_warm_start.dir/ablation_warm_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/ch_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/ch_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/heatmap/CMakeFiles/ch_heatmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ch_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ch_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/ch_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/ch_dot11.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mana_database.dir/fig1_mana_database.cpp.o"
+  "CMakeFiles/fig1_mana_database.dir/fig1_mana_database.cpp.o.d"
+  "fig1_mana_database"
+  "fig1_mana_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mana_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ssids_tried.dir/fig2_ssids_tried.cpp.o"
+  "CMakeFiles/fig2_ssids_tried.dir/fig2_ssids_tried.cpp.o.d"
+  "fig2_ssids_tried"
+  "fig2_ssids_tried.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ssids_tried.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

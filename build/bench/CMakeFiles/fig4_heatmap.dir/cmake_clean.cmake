@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_heatmap.dir/fig4_heatmap.cpp.o"
+  "CMakeFiles/fig4_heatmap.dir/fig4_heatmap.cpp.o.d"
+  "fig4_heatmap"
+  "fig4_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_venues.dir/fig5_venues.cpp.o"
+  "CMakeFiles/fig5_venues.dir/fig5_venues.cpp.o.d"
+  "fig5_venues"
+  "fig5_venues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_venues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

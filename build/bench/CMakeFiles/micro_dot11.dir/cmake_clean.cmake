@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dot11.dir/micro_dot11.cpp.o"
+  "CMakeFiles/micro_dot11.dir/micro_dot11.cpp.o.d"
+  "micro_dot11"
+  "micro_dot11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dot11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

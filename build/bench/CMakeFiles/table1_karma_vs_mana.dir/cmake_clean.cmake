@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_karma_vs_mana.dir/table1_karma_vs_mana.cpp.o"
+  "CMakeFiles/table1_karma_vs_mana.dir/table1_karma_vs_mana.cpp.o.d"
+  "table1_karma_vs_mana"
+  "table1_karma_vs_mana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_karma_vs_mana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

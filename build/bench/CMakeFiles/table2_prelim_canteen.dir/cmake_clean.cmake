@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_prelim_canteen.dir/table2_prelim_canteen.cpp.o"
+  "CMakeFiles/table2_prelim_canteen.dir/table2_prelim_canteen.cpp.o.d"
+  "table2_prelim_canteen"
+  "table2_prelim_canteen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prelim_canteen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

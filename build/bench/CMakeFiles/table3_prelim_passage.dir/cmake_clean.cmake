@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_prelim_passage.dir/table3_prelim_passage.cpp.o"
+  "CMakeFiles/table3_prelim_passage.dir/table3_prelim_passage.cpp.o.d"
+  "table3_prelim_passage"
+  "table3_prelim_passage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prelim_passage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_heatmap_ranking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_your_own_attacker.dir/build_your_own_attacker.cpp.o"
+  "CMakeFiles/build_your_own_attacker.dir/build_your_own_attacker.cpp.o.d"
+  "build_your_own_attacker"
+  "build_your_own_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_your_own_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

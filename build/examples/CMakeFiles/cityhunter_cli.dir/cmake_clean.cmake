@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cityhunter_cli.dir/cityhunter_cli.cpp.o"
+  "CMakeFiles/cityhunter_cli.dir/cityhunter_cli.cpp.o.d"
+  "cityhunter_cli"
+  "cityhunter_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cityhunter_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deauth_cafe.dir/deauth_cafe.cpp.o"
+  "CMakeFiles/deauth_cafe.dir/deauth_cafe.cpp.o.d"
+  "deauth_cafe"
+  "deauth_cafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deauth_cafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

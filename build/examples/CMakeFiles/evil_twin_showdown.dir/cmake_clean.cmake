@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evil_twin_showdown.dir/evil_twin_showdown.cpp.o"
+  "CMakeFiles/evil_twin_showdown.dir/evil_twin_showdown.cpp.o.d"
+  "evil_twin_showdown"
+  "evil_twin_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evil_twin_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passage_rush_hour.dir/passage_rush_hour.cpp.o"
+  "CMakeFiles/passage_rush_hour.dir/passage_rush_hour.cpp.o.d"
+  "passage_rush_hour"
+  "passage_rush_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passage_rush_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

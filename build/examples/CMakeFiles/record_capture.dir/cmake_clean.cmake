@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_capture.dir/record_capture.cpp.o"
+  "CMakeFiles/record_capture.dir/record_capture.cpp.o.d"
+  "record_capture"
+  "record_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("dot11")
+subdirs("cache")
+subdirs("medium")
+subdirs("world")
+subdirs("heatmap")
+subdirs("client")
+subdirs("mobility")
+subdirs("defense")
+subdirs("core")
+subdirs("stats")
+subdirs("sim")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/legit_ap.cpp" "src/client/CMakeFiles/ch_client.dir/legit_ap.cpp.o" "gcc" "src/client/CMakeFiles/ch_client.dir/legit_ap.cpp.o.d"
+  "/root/repo/src/client/smartphone.cpp" "src/client/CMakeFiles/ch_client.dir/smartphone.cpp.o" "gcc" "src/client/CMakeFiles/ch_client.dir/smartphone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ch_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/ch_dot11.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/ch_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ch_world.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_client.dir/legit_ap.cpp.o"
+  "CMakeFiles/ch_client.dir/legit_ap.cpp.o.d"
+  "CMakeFiles/ch_client.dir/smartphone.cpp.o"
+  "CMakeFiles/ch_client.dir/smartphone.cpp.o.d"
+  "libch_client.a"
+  "libch_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacker.cpp" "src/core/CMakeFiles/ch_core.dir/attacker.cpp.o" "gcc" "src/core/CMakeFiles/ch_core.dir/attacker.cpp.o.d"
+  "/root/repo/src/core/buffers.cpp" "src/core/CMakeFiles/ch_core.dir/buffers.cpp.o" "gcc" "src/core/CMakeFiles/ch_core.dir/buffers.cpp.o.d"
+  "/root/repo/src/core/cityhunter.cpp" "src/core/CMakeFiles/ch_core.dir/cityhunter.cpp.o" "gcc" "src/core/CMakeFiles/ch_core.dir/cityhunter.cpp.o.d"
+  "/root/repo/src/core/deauth.cpp" "src/core/CMakeFiles/ch_core.dir/deauth.cpp.o" "gcc" "src/core/CMakeFiles/ch_core.dir/deauth.cpp.o.d"
+  "/root/repo/src/core/ssid_db.cpp" "src/core/CMakeFiles/ch_core.dir/ssid_db.cpp.o" "gcc" "src/core/CMakeFiles/ch_core.dir/ssid_db.cpp.o.d"
+  "/root/repo/src/core/wigle_seed.cpp" "src/core/CMakeFiles/ch_core.dir/wigle_seed.cpp.o" "gcc" "src/core/CMakeFiles/ch_core.dir/wigle_seed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ch_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/ch_dot11.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/ch_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ch_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/heatmap/CMakeFiles/ch_heatmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

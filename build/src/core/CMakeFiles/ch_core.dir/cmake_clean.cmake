@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_core.dir/attacker.cpp.o"
+  "CMakeFiles/ch_core.dir/attacker.cpp.o.d"
+  "CMakeFiles/ch_core.dir/buffers.cpp.o"
+  "CMakeFiles/ch_core.dir/buffers.cpp.o.d"
+  "CMakeFiles/ch_core.dir/cityhunter.cpp.o"
+  "CMakeFiles/ch_core.dir/cityhunter.cpp.o.d"
+  "CMakeFiles/ch_core.dir/deauth.cpp.o"
+  "CMakeFiles/ch_core.dir/deauth.cpp.o.d"
+  "CMakeFiles/ch_core.dir/ssid_db.cpp.o"
+  "CMakeFiles/ch_core.dir/ssid_db.cpp.o.d"
+  "CMakeFiles/ch_core.dir/wigle_seed.cpp.o"
+  "CMakeFiles/ch_core.dir/wigle_seed.cpp.o.d"
+  "libch_core.a"
+  "libch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_defense.dir/detector.cpp.o"
+  "CMakeFiles/ch_defense.dir/detector.cpp.o.d"
+  "libch_defense.a"
+  "libch_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

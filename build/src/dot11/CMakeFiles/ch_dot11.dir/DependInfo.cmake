@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dot11/crc32.cpp" "src/dot11/CMakeFiles/ch_dot11.dir/crc32.cpp.o" "gcc" "src/dot11/CMakeFiles/ch_dot11.dir/crc32.cpp.o.d"
+  "/root/repo/src/dot11/frame.cpp" "src/dot11/CMakeFiles/ch_dot11.dir/frame.cpp.o" "gcc" "src/dot11/CMakeFiles/ch_dot11.dir/frame.cpp.o.d"
+  "/root/repo/src/dot11/ie.cpp" "src/dot11/CMakeFiles/ch_dot11.dir/ie.cpp.o" "gcc" "src/dot11/CMakeFiles/ch_dot11.dir/ie.cpp.o.d"
+  "/root/repo/src/dot11/mac_address.cpp" "src/dot11/CMakeFiles/ch_dot11.dir/mac_address.cpp.o" "gcc" "src/dot11/CMakeFiles/ch_dot11.dir/mac_address.cpp.o.d"
+  "/root/repo/src/dot11/pcap.cpp" "src/dot11/CMakeFiles/ch_dot11.dir/pcap.cpp.o" "gcc" "src/dot11/CMakeFiles/ch_dot11.dir/pcap.cpp.o.d"
+  "/root/repo/src/dot11/serialize.cpp" "src/dot11/CMakeFiles/ch_dot11.dir/serialize.cpp.o" "gcc" "src/dot11/CMakeFiles/ch_dot11.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_dot11.dir/crc32.cpp.o"
+  "CMakeFiles/ch_dot11.dir/crc32.cpp.o.d"
+  "CMakeFiles/ch_dot11.dir/frame.cpp.o"
+  "CMakeFiles/ch_dot11.dir/frame.cpp.o.d"
+  "CMakeFiles/ch_dot11.dir/ie.cpp.o"
+  "CMakeFiles/ch_dot11.dir/ie.cpp.o.d"
+  "CMakeFiles/ch_dot11.dir/mac_address.cpp.o"
+  "CMakeFiles/ch_dot11.dir/mac_address.cpp.o.d"
+  "CMakeFiles/ch_dot11.dir/pcap.cpp.o"
+  "CMakeFiles/ch_dot11.dir/pcap.cpp.o.d"
+  "CMakeFiles/ch_dot11.dir/serialize.cpp.o"
+  "CMakeFiles/ch_dot11.dir/serialize.cpp.o.d"
+  "libch_dot11.a"
+  "libch_dot11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_dot11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_heatmap.dir/heatmap.cpp.o"
+  "CMakeFiles/ch_heatmap.dir/heatmap.cpp.o.d"
+  "libch_heatmap.a"
+  "libch_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_medium.dir/event_queue.cpp.o"
+  "CMakeFiles/ch_medium.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ch_medium.dir/medium.cpp.o"
+  "CMakeFiles/ch_medium.dir/medium.cpp.o.d"
+  "CMakeFiles/ch_medium.dir/propagation.cpp.o"
+  "CMakeFiles/ch_medium.dir/propagation.cpp.o.d"
+  "libch_medium.a"
+  "libch_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/population.cpp" "src/mobility/CMakeFiles/ch_mobility.dir/population.cpp.o" "gcc" "src/mobility/CMakeFiles/ch_mobility.dir/population.cpp.o.d"
+  "/root/repo/src/mobility/venue.cpp" "src/mobility/CMakeFiles/ch_mobility.dir/venue.cpp.o" "gcc" "src/mobility/CMakeFiles/ch_mobility.dir/venue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ch_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/medium/CMakeFiles/ch_medium.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/ch_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/ch_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/dot11/CMakeFiles/ch_dot11.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_mobility.dir/population.cpp.o"
+  "CMakeFiles/ch_mobility.dir/population.cpp.o.d"
+  "CMakeFiles/ch_mobility.dir/venue.cpp.o"
+  "CMakeFiles/ch_mobility.dir/venue.cpp.o.d"
+  "libch_mobility.a"
+  "libch_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_sim.dir/export.cpp.o"
+  "CMakeFiles/ch_sim.dir/export.cpp.o.d"
+  "CMakeFiles/ch_sim.dir/scenario.cpp.o"
+  "CMakeFiles/ch_sim.dir/scenario.cpp.o.d"
+  "libch_sim.a"
+  "libch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_stats.dir/campaign.cpp.o"
+  "CMakeFiles/ch_stats.dir/campaign.cpp.o.d"
+  "CMakeFiles/ch_stats.dir/report.cpp.o"
+  "CMakeFiles/ch_stats.dir/report.cpp.o.d"
+  "libch_stats.a"
+  "libch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

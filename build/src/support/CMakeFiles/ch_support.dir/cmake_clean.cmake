@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_support.dir/histogram.cpp.o"
+  "CMakeFiles/ch_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/ch_support.dir/rng.cpp.o"
+  "CMakeFiles/ch_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ch_support.dir/sim_time.cpp.o"
+  "CMakeFiles/ch_support.dir/sim_time.cpp.o.d"
+  "CMakeFiles/ch_support.dir/table.cpp.o"
+  "CMakeFiles/ch_support.dir/table.cpp.o.d"
+  "libch_support.a"
+  "libch_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

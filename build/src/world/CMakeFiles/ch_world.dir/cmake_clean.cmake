@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_world.dir/ap_generator.cpp.o"
+  "CMakeFiles/ch_world.dir/ap_generator.cpp.o.d"
+  "CMakeFiles/ch_world.dir/city.cpp.o"
+  "CMakeFiles/ch_world.dir/city.cpp.o.d"
+  "CMakeFiles/ch_world.dir/photos.cpp.o"
+  "CMakeFiles/ch_world.dir/photos.cpp.o.d"
+  "CMakeFiles/ch_world.dir/pnl.cpp.o"
+  "CMakeFiles/ch_world.dir/pnl.cpp.o.d"
+  "CMakeFiles/ch_world.dir/wigle.cpp.o"
+  "CMakeFiles/ch_world.dir/wigle.cpp.o.d"
+  "libch_world.a"
+  "libch_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot11_test.dir/dot11_test.cpp.o"
+  "CMakeFiles/dot11_test.dir/dot11_test.cpp.o.d"
+  "dot11_test"
+  "dot11_test.pdb"
+  "dot11_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot11_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
