@@ -5,6 +5,7 @@
 // groups -> freshness matters; unrelated commuters -> popularity matters)
 // instead of being fixed like 35 vs 5.
 #include "bench_common.h"
+#include "sim/parallel.h"
 
 using namespace cityhunter;
 
@@ -58,7 +59,9 @@ int main() {
   for (const auto& venue : venues) {
     std::printf("\n--- %s (rush slot) ---\n", venue.name.c_str());
     support::TextTable t({"variant", "h_b", "fresh hits", "final PB/FB"});
-    for (const auto& variant : variants()) {
+    const auto vs = variants();
+    std::vector<sim::RunConfig> runs;
+    for (const auto& variant : vs) {
       sim::RunConfig run;
       run.kind = sim::AttackerKind::kCityHunter;
       run.venue = venue;
@@ -67,8 +70,12 @@ int main() {
       run.duration = support::SimTime::hours(1);
       run.cityhunter.buffers = variant.buffers;
       run.run_seed = 11;  // same crowd for every variant
-      const auto out = sim::run_campaign(world, run);
-      t.add_row({variant.name, support::TextTable::pct(out.result.h_b()),
+      runs.push_back(std::move(run));
+    }
+    const auto outputs = sim::run_campaigns(world, runs);
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const auto& out = outputs[i];
+      t.add_row({vs[i].name, support::TextTable::pct(out.result.h_b()),
                  std::to_string(out.result.hits_via_freshness),
                  std::to_string(out.final_pb_size) + "/" +
                      std::to_string(out.final_fb_size)});

@@ -4,6 +4,7 @@
 // the freshness buffer, heat-based weighting — and compares against the
 // full attacker and the MANA baseline in both a static and a flow venue.
 #include "bench_common.h"
+#include "sim/parallel.h"
 
 using namespace cityhunter;
 
@@ -18,7 +19,11 @@ int main() {
     std::printf("\n--- %s ---\n", venue.name.c_str());
     support::TextTable t({"variant", "h", "h_b"});
 
-    auto run_one = [&](const char* name, sim::AttackerKind kind,
+    // Variants share one crowd (run_seed 21) but are independent runs:
+    // collect them all, then fan out across cores.
+    std::vector<const char*> names;
+    std::vector<sim::RunConfig> runs;
+    auto add_one = [&](const char* name, sim::AttackerKind kind,
                        auto mutate) {
       sim::RunConfig run;
       run.kind = kind;
@@ -28,27 +33,32 @@ int main() {
       run.duration = support::SimTime::hours(1);
       run.run_seed = 21;  // same crowd for all variants
       mutate(run);
-      const auto out = sim::run_campaign(world, run);
-      t.add_row({name, support::TextTable::pct(out.result.h()),
-                 support::TextTable::pct(out.result.h_b())});
+      names.push_back(name);
+      runs.push_back(std::move(run));
     };
 
-    run_one("MANA baseline", sim::AttackerKind::kMana, [](auto&) {});
-    run_one("prelim (unordered sweep)", sim::AttackerKind::kPrelim,
+    add_one("MANA baseline", sim::AttackerKind::kMana, [](auto&) {});
+    add_one("prelim (unordered sweep)", sim::AttackerKind::kPrelim,
             [](auto&) {});
-    run_one("full City-Hunter", sim::AttackerKind::kCityHunter, [](auto&) {});
-    run_one("- WiGLE seed", sim::AttackerKind::kCityHunter, [](auto& run) {
+    add_one("full City-Hunter", sim::AttackerKind::kCityHunter, [](auto&) {});
+    add_one("- WiGLE seed", sim::AttackerKind::kCityHunter, [](auto& run) {
       run.wigle_seed.nearby_count = 0;
       run.wigle_seed.popular_count = 0;
     });
-    run_one("- untried tracking", sim::AttackerKind::kCityHunter,
+    add_one("- untried tracking", sim::AttackerKind::kCityHunter,
             [](auto& run) { run.cityhunter.untried_tracking = false; });
-    run_one("- freshness buffer", sim::AttackerKind::kCityHunter,
+    add_one("- freshness buffer", sim::AttackerKind::kCityHunter,
             [](auto& run) { run.cityhunter.buffers.use_freshness = false; });
-    run_one("- heat weights (AP count)", sim::AttackerKind::kCityHunter,
+    add_one("- heat weights (AP count)", sim::AttackerKind::kCityHunter,
             [](auto& run) {
               run.wigle_seed.ranking = core::PopularRanking::kApCount;
             });
+
+    const auto outputs = sim::run_campaigns(world, runs);
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      t.add_row({names[i], support::TextTable::pct(outputs[i].result.h()),
+                 support::TextTable::pct(outputs[i].result.h_b())});
+    }
 
     std::printf("%s", t.str().c_str());
   }

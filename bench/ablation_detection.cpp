@@ -71,15 +71,18 @@ int main() {
                                        defense::EvilTwinDetector::Config{});
     detector.start();
 
+    // Local copy: the shared World's PNL model is immutable (see
+    // sim/scenario.h); locale + person-id counters are per-crowd state.
+    world::PnlModel pnl = world.pnl_model();
     world::Locale locale;
     locale.ranked_ssids = world.local_public_ssids(attack_pos, 500.0);
     locale.bias = 0.45;
-    world.pnl_model().set_locale(std::move(locale));
+    pnl.set_locale(std::move(locale));
 
     auto phone_cfg = world.config().phone;
     phone_cfg.mean_scan_interval =
         support::SimTime::seconds(venue.mean_scan_interval_s);
-    mobility::VenuePopulation population(medium, world.pnl_model(), venue,
+    mobility::VenuePopulation population(medium, pnl, venue,
                                          phone_cfg, rng.fork("pop"));
     mobility::SlotParams slot;
     slot.expected_clients = 640;

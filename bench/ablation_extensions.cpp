@@ -1,6 +1,7 @@
 // Ablation: the §V-B extensions — de-authentication of clients parked on a
 // legitimate AP, and seeding carrier hotspot SSIDs for iOS subscribers.
 #include "bench_common.h"
+#include "sim/parallel.h"
 
 using namespace cityhunter;
 
@@ -15,6 +16,7 @@ int main() {
     std::printf("\n--- deauth attack (canteen, 50%% pre-associated) ---\n");
     support::TextTable t(
         {"variant", "clients seen", "h", "h_b", "deauths sent"});
+    std::vector<sim::RunConfig> runs;
     for (const bool enable : {false, true}) {
       sim::RunConfig run;
       run.kind = sim::AttackerKind::kCityHunter;
@@ -26,8 +28,12 @@ int main() {
       d.pre_associated_fraction = 0.5;
       d.enable_deauth = enable;
       run.deauth = d;
-      const auto out = sim::run_campaign(world, run);
-      t.add_row({enable ? "with deauth" : "without deauth",
+      runs.push_back(std::move(run));
+    }
+    const auto outputs = sim::run_campaigns(world, runs);
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const auto& out = outputs[i];
+      t.add_row({i == 1 ? "with deauth" : "without deauth",
                  std::to_string(out.result.total_clients),
                  support::TextTable::pct(out.result.h()),
                  support::TextTable::pct(out.result.h_b()),
@@ -43,6 +49,7 @@ int main() {
   {
     std::printf("\n--- carrier SSID seeding (passage) ---\n");
     support::TextTable t({"variant", "h_b", "carrier-seed hits"});
+    std::vector<sim::RunConfig> runs;
     for (const bool enable : {false, true}) {
       sim::RunConfig run;
       run.kind = sim::AttackerKind::kCityHunter;
@@ -51,8 +58,12 @@ int main() {
       run.duration = support::SimTime::hours(1);
       run.run_seed = 32;
       run.seed_carrier_ssids = enable;
-      const auto out = sim::run_campaign(world, run);
-      t.add_row({enable ? "with carrier seed" : "without carrier seed",
+      runs.push_back(std::move(run));
+    }
+    const auto outputs = sim::run_campaigns(world, runs);
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const auto& out = outputs[i];
+      t.add_row({i == 1 ? "with carrier seed" : "without carrier seed",
                  support::TextTable::pct(out.result.h_b()),
                  std::to_string(out.result.hits_from_carrier_seed)});
     }

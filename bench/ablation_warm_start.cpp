@@ -7,6 +7,7 @@
 // (8am -> 12pm), and across a venue change (canteen DB deployed in the
 // passage — does local learning transfer?).
 #include "bench_common.h"
+#include "sim/parallel.h"
 
 using namespace cityhunter;
 
@@ -15,9 +16,9 @@ int main() {
                       "Sec V-A (per-test re-initialisation)");
   sim::World world = bench::make_world();
 
-  auto slot_run = [&](const mobility::VenueConfig& venue, int slot,
-                      std::optional<core::SsidDatabase> carry,
-                      std::uint64_t run_seed) {
+  auto make_run = [](const mobility::VenueConfig& venue, int slot,
+                     std::optional<core::SsidDatabase> carry,
+                     std::uint64_t run_seed) {
     sim::RunConfig run;
     run.kind = sim::AttackerKind::kCityHunter;
     run.venue = venue;
@@ -28,7 +29,13 @@ int main() {
     run.duration = support::SimTime::hours(1);
     run.run_seed = run_seed;
     run.initial_database = std::move(carry);
-    return sim::run_campaign(world, run);
+    return run;
+  };
+  auto slot_run = [&](const mobility::VenueConfig& venue, int slot,
+                      std::optional<core::SsidDatabase> carry,
+                      std::uint64_t run_seed) {
+    return sim::run_campaign(world,
+                             make_run(venue, slot, std::move(carry), run_seed));
   };
 
   const auto canteen = mobility::canteen_venue();
@@ -37,9 +44,17 @@ int main() {
   // --- Same venue, consecutive slots ---
   std::printf("\n--- canteen: 4 consecutive morning slots ---\n");
   support::TextTable t1({"slot", "cold h_b", "warm h_b", "warm db size"});
+  // The cold runs are independent — fan them out. The warm chain is
+  // inherently serial: each slot starts from the previous slot's database.
+  std::vector<sim::RunConfig> cold_runs;
+  for (int slot = 0; slot < 4; ++slot) {
+    cold_runs.push_back(make_run(canteen, slot, std::nullopt,
+                                 400 + static_cast<std::uint64_t>(slot)));
+  }
+  const auto colds = sim::run_campaigns(world, cold_runs);
   std::optional<core::SsidDatabase> carry;
   for (int slot = 0; slot < 4; ++slot) {
-    const auto cold = slot_run(canteen, slot, std::nullopt, 400 + slot);
+    const auto& cold = colds[static_cast<std::size_t>(slot)];
     const auto warm = slot_run(canteen, slot, std::move(carry), 400 + slot);
     carry = warm.database;
     t1.add_row({mobility::slot_label(slot),

@@ -5,6 +5,7 @@
 // (b) subway passage, all broadcast clients: quantised at multiples of 40
 //     (one scan = one 40-SSID train), ~70% get one train, ~22% two.
 #include "bench_common.h"
+#include "sim/parallel.h"
 
 using namespace cityhunter;
 
@@ -12,16 +13,23 @@ int main() {
   bench::print_header("Fig 2 — SSIDs tried per client", "Fig 2(a), Fig 2(b)");
   sim::World world = bench::make_world();
 
+  // Both panels are independent runs: execute them in parallel.
+  std::vector<sim::RunConfig> runs(2);
+  runs[0].kind = sim::AttackerKind::kPrelim;
+  runs[0].venue = mobility::canteen_venue();
+  runs[0].slot.expected_clients = 640;
+  runs[0].duration = support::SimTime::minutes(30);
+  runs[0].run_seed = 3;
+  runs[1].kind = sim::AttackerKind::kPrelim;
+  runs[1].venue = mobility::subway_passage_venue();
+  runs[1].slot.expected_clients = 1450;
+  runs[1].duration = support::SimTime::hours(1);
+  runs[1].run_seed = 4;
+  const auto outputs = sim::run_campaigns(world, runs);
+
   // (a) canteen, preliminary attacker (the configuration Fig 2a reports).
   {
-    sim::RunConfig run;
-    run.kind = sim::AttackerKind::kPrelim;
-    run.venue = mobility::canteen_venue();
-    run.slot.expected_clients = 640;
-    run.duration = support::SimTime::minutes(30);
-    run.run_seed = 3;
-    const auto out = sim::run_campaign(world, run);
-
+    const auto& out = outputs[0];
     support::Histogram hist(20.0);
     support::Summary sum;
     for (const int n : out.result.ssids_sent_connected) {
@@ -40,14 +48,7 @@ int main() {
 
   // (b) passage, all broadcast clients.
   {
-    sim::RunConfig run;
-    run.kind = sim::AttackerKind::kPrelim;
-    run.venue = mobility::subway_passage_venue();
-    run.slot.expected_clients = 1450;
-    run.duration = support::SimTime::hours(1);
-    run.run_seed = 4;
-    const auto out = sim::run_campaign(world, run);
-
+    const auto& out = outputs[1];
     support::Histogram hist(40.0);
     for (const int n : out.result.ssids_sent_all_broadcast) {
       hist.add(static_cast<double>(n));

@@ -1,0 +1,142 @@
+// Wall-clock benchmark harness — the repo's performance trajectory anchor.
+//
+// Times the fig6 campaign mix (4 venues × 12 slots, all independent) run
+// serially and through sim::run_campaigns at 1/2/N worker threads, asserts
+// the parallel outputs are bit-identical to the serial loop, and writes
+// BENCH_wallclock.json so future PRs can compare against this one.
+//
+// Usage: wallclock [slot_minutes]
+//   slot_minutes — simulated minutes per slot (default 10; the paper's
+//   slots are 60 — pass 60 for the full-fidelity mix).
+// CITYHUNTER_THREADS overrides the "N" (all cores) thread count.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_common.h"
+#include "sim/parallel.h"
+#include "support/thread_pool.h"
+
+using namespace cityhunter;
+
+namespace {
+
+/// Full RunOutput equality: every field a bench could print.
+bool identical(const sim::RunOutput& a, const sim::RunOutput& b) {
+  return a.result == b.result && a.series == b.series &&
+         a.window_rates == b.window_rates &&
+         a.final_pb_size == b.final_pb_size &&
+         a.final_fb_size == b.final_fb_size &&
+         a.db_final_size == b.db_final_size &&
+         a.db_from_direct == b.db_from_direct &&
+         a.deauths_sent == b.deauths_sent &&
+         a.frames_transmitted == b.frames_transmitted &&
+         a.frames_delivered == b.frames_delivered;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double slot_minutes = argc > 1 ? std::atof(argv[1]) : 10.0;
+  bench::print_header("Wall-clock — parallel campaign runner",
+                      "perf harness (no paper figure)");
+  sim::World world = bench::make_world();
+
+  const mobility::VenueConfig venues[] = {
+      mobility::subway_passage_venue(), mobility::canteen_venue(),
+      mobility::shopping_center_venue(), mobility::railway_station_venue()};
+  std::vector<sim::RunConfig> runs;
+  for (int venue_index = 0; venue_index < 4; ++venue_index) {
+    const auto& venue = venues[venue_index];
+    for (int slot = 0; slot < 12; ++slot) {
+      sim::RunConfig run;
+      run.kind = sim::AttackerKind::kCityHunter;
+      run.venue = venue;
+      run.slot.expected_clients =
+          venue.hourly_clients[static_cast<std::size_t>(slot)] *
+          (slot_minutes / 60.0);
+      run.slot.group_fraction =
+          venue.hourly_group_fraction[static_cast<std::size_t>(slot)];
+      run.duration = support::SimTime::minutes(slot_minutes);
+      run.run_seed = static_cast<std::uint64_t>(venue_index * 100 + slot + 1);
+      runs.push_back(std::move(run));
+    }
+  }
+
+  std::printf("mix: %zu runs × %.0f simulated minutes, hardware threads: "
+              "%zu\n\n",
+              runs.size(), slot_minutes,
+              support::ThreadPool::default_workers());
+
+  const auto t_serial = std::chrono::steady_clock::now();
+  std::vector<sim::RunOutput> serial;
+  serial.reserve(runs.size());
+  for (const auto& run : runs) {
+    serial.push_back(sim::run_campaign(world, run));
+  }
+  const double serial_s = seconds_since(t_serial);
+
+  std::uint64_t frames = 0;
+  for (const auto& out : serial) frames += out.frames_delivered;
+  std::printf("%-10s %8.2f s   %10.0f frames/s   speedup 1.00   (baseline)\n",
+              "serial", serial_s, static_cast<double>(frames) / serial_s);
+
+  std::vector<std::size_t> thread_counts = {1, 2,
+                                            support::ThreadPool::default_workers()};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+  std::ofstream json("BENCH_wallclock.json");
+  json << "{\n"
+       << "  \"mix\": \"fig6 4x12\",\n"
+       << "  \"runs\": " << runs.size() << ",\n"
+       << "  \"slot_minutes\": " << slot_minutes << ",\n"
+       << "  \"frames_delivered\": " << frames << ",\n"
+       << "  \"hardware_threads\": " << support::ThreadPool::default_workers()
+       << ",\n"
+       << "  \"serial_s\": " << serial_s << ",\n"
+       << "  \"parallel\": [";
+
+  bool all_identical = true;
+  bool first = true;
+  for (const std::size_t threads : thread_counts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto parallel =
+        sim::run_campaigns(world, runs, sim::ParallelConfig{threads});
+    const double wall_s = seconds_since(t0);
+
+    bool same = parallel.size() == serial.size();
+    for (std::size_t i = 0; same && i < serial.size(); ++i) {
+      same = identical(serial[i], parallel[i]);
+    }
+    all_identical = all_identical && same;
+
+    const double speedup = serial_s / wall_s;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu thread%s", threads,
+                  threads == 1 ? "" : "s");
+    std::printf("%-10s %8.2f s   %10.0f frames/s   speedup %.2f   %s\n",
+                label, wall_s, static_cast<double>(frames) / wall_s, speedup,
+                same ? "bit-identical to serial" : "MISMATCH vs serial");
+
+    json << (first ? "" : ",") << "\n    {\"threads\": " << threads
+         << ", \"wall_s\": " << wall_s << ", \"speedup\": " << speedup
+         << ", \"frames_per_s\": " << static_cast<double>(frames) / wall_s
+         << ", \"identical\": " << (same ? "true" : "false") << "}";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+
+  std::printf("\nwritten: BENCH_wallclock.json\n");
+  if (!all_identical) {
+    std::printf("ERROR: parallel output diverged from the serial loop\n");
+    return 1;
+  }
+  return 0;
+}

@@ -73,13 +73,16 @@ int main(int argc, char** argv) {
   attacker.start();
   std::printf("seeded %zu nearby SSIDs\n", attacker.database().size());
 
+  // Local copy: the shared World's PNL model is immutable (see
+  // sim/scenario.h); locale + person-id counters are per-crowd state.
+  world::PnlModel pnl = world.pnl_model();
   world::Locale locale;
   locale.ranked_ssids = world.local_public_ssids(attack_pos, 500.0);
   locale.bias = 0.45;
-  world.pnl_model().set_locale(std::move(locale));
+  pnl.set_locale(std::move(locale));
 
   support::Rng rng(scenario.seed);
-  mobility::VenuePopulation population(medium, world.pnl_model(), venue,
+  mobility::VenuePopulation population(medium, pnl, venue,
                                        client::SmartphoneConfig{},
                                        rng.fork("population"));
   mobility::SlotParams slot;

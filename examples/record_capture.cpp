@@ -37,12 +37,15 @@ int main(int argc, char** argv) {
   medium::PcapRecorder recorder(path);
   auto monitor = medium.attach({3, 3}, 6, 0.0, &recorder);
 
+  // Local copy: the shared World's PNL model is immutable (see
+  // sim/scenario.h); locale + person-id counters are per-crowd state.
+  world::PnlModel pnl = world.pnl_model();
   world::Locale locale;
   locale.ranked_ssids = world.local_public_ssids(attack_pos, 500.0);
   locale.bias = 0.45;
-  world.pnl_model().set_locale(std::move(locale));
+  pnl.set_locale(std::move(locale));
 
-  mobility::VenuePopulation population(medium, world.pnl_model(), venue,
+  mobility::VenuePopulation population(medium, pnl, venue,
                                        world.config().phone, rng.fork("pop"));
   mobility::SlotParams slot;
   slot.expected_clients = 120;  // 5-minute slice of a canteen crowd

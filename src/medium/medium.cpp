@@ -1,5 +1,7 @@
 #include "medium/medium.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "dot11/serialize.h"
@@ -21,12 +23,26 @@ Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
   st.tx_power_dbm = tx_power_dbm;
   st.sink = sink;
   st.tx_busy_until = events_.now();
-  radios_.emplace(id, std::move(st));
+  auto [it, inserted] = radios_.emplace(id, std::move(st));
+  if (cfg_.spatial_grid) {
+    if (tx_power_dbm > max_tx_power_dbm_) {
+      max_tx_power_dbm_ = tx_power_dbm;
+      if (propagation_.max_range(max_tx_power_dbm_) > cell_size_) {
+        grid_rebuild();  // re-buckets the new radio too
+        return Radio(this, id);
+      }
+    }
+    grid_insert(id, it->second);
+  }
   return Radio(this, id);
 }
 
 void Medium::detach(Radio& radio) {
-  radios_.erase(radio.id_);
+  auto it = radios_.find(radio.id_);
+  if (it != radios_.end()) {
+    grid_erase(it->second, radio.id_);
+    radios_.erase(it);
+  }
   radio.medium_ = nullptr;
 }
 
@@ -46,6 +62,61 @@ const Medium::RadioState& Medium::state(RadioId id) const {
   return it->second;
 }
 
+std::int64_t Medium::cell_coord(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cell_size_));
+}
+
+std::uint64_t Medium::cell_of(Position pos) const {
+  return cell_key(cell_coord(pos.x), cell_coord(pos.y));
+}
+
+void Medium::grid_insert(RadioId id, RadioState& st) {
+  st.cell = cell_of(st.pos);
+  cells_[st.cell].push_back(id);
+}
+
+void Medium::grid_erase(RadioState& st, RadioId id) {
+  if (st.cell == kNoCell) return;
+  auto it = cells_.find(st.cell);
+  if (it != cells_.end()) {
+    auto& ids = it->second;
+    const auto pos = std::find(ids.begin(), ids.end(), id);
+    if (pos != ids.end()) {
+      // Swap-pop: bucket order is irrelevant, deliver() sorts candidates.
+      *pos = ids.back();
+      ids.pop_back();
+    }
+    if (ids.empty()) cells_.erase(it);
+  }
+  st.cell = kNoCell;
+}
+
+void Medium::grid_rebuild() {
+  cells_.clear();
+  cell_size_ = std::max(1.0, propagation_.max_range(max_tx_power_dbm_));
+  for (auto& [id, st] : radios_) grid_insert(id, st);
+}
+
+void Medium::set_position(RadioId id, Position pos) {
+  auto& st = state(id);
+  st.pos = pos;
+  if (!cfg_.spatial_grid) return;
+  const std::uint64_t key = cell_of(pos);
+  if (key == st.cell) return;
+  grid_erase(st, id);
+  grid_insert(id, st);
+}
+
+void Medium::set_tx_power(RadioId id, double dbm) {
+  auto& st = state(id);
+  st.tx_power_dbm = dbm;
+  if (!cfg_.spatial_grid) return;
+  if (dbm > max_tx_power_dbm_) {
+    max_tx_power_dbm_ = dbm;
+    if (propagation_.max_range(max_tx_power_dbm_) > cell_size_) grid_rebuild();
+  }
+}
+
 void Medium::transmit(RadioId from, const dot11::Frame& frame) {
   auto& st = state(from);
   const std::size_t bytes = dot11::wire_size(frame);
@@ -57,14 +128,19 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
   ++st.tx_backlog;
   ++transmissions_;
 
-  // Capture everything by value: the sender may move or detach before the
-  // frame lands. Queue epoch lets clear_tx_queue() abort in-flight sends.
-  auto bytes_out = dot11::serialize(frame);
+  // Round-trip through the wire format once, at transmit time: every
+  // receiver shares the parsed result instead of deliver() re-parsing the
+  // byte vector per transmission. Receivers still only ever see what
+  // survives serialization. Capture everything by value: the sender may
+  // move or detach before the frame lands. Queue epoch lets
+  // clear_tx_queue() abort in-flight sends.
+  auto wire_frame = std::make_shared<const std::optional<dot11::Frame>>(
+      dot11::parse(dot11::serialize(frame)));
   const std::uint64_t epoch = st.queue_epoch;
   const Position tx_pos = st.pos;
   const double tx_dbm = st.tx_power_dbm;
   const std::uint8_t channel = st.channel;
-  events_.schedule_at(done, [this, from, epoch, bytes_out = std::move(bytes_out),
+  events_.schedule_at(done, [this, from, epoch, wire_frame = std::move(wire_frame),
                              channel, tx_pos, tx_dbm] {
     auto it = radios_.find(from);
     if (it != radios_.end()) {
@@ -72,23 +148,47 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
       --it->second.tx_backlog;
       ++it->second.frames_sent;
     }
-    deliver(from, bytes_out, channel, tx_pos, tx_dbm);
+    if (!wire_frame->has_value()) return;  // corrupted on the wire — cannot
+                                           // happen here, but a real receiver
+                                           // drops bad-FCS frames silently
+    deliver(from, **wire_frame, channel, tx_pos, tx_dbm);
   });
 }
 
-void Medium::deliver(RadioId from, const std::vector<std::uint8_t>& bytes,
+void Medium::deliver(RadioId from, const dot11::Frame& frame,
                      std::uint8_t channel, Position tx_pos,
                      double tx_power_dbm) {
-  const auto frame = dot11::parse(bytes);
-  if (!frame) return;  // corrupted on the wire — cannot happen here, but a
-                       // real receiver drops bad-FCS frames silently
-
   // Snapshot receiver ids first: a sink callback may attach/detach radios.
   std::vector<RadioId> targets;
-  targets.reserve(radios_.size());
-  for (const auto& [id, st] : radios_) {
-    if (id == from || st.channel != channel || st.sink == nullptr) continue;
-    targets.push_back(id);
+  if (cfg_.spatial_grid && !cells_.empty()) {
+    // Probe only the cells overlapping the transmission's own range box.
+    const double r = propagation_.max_range(tx_power_dbm);
+    const std::int64_t cx0 = cell_coord(tx_pos.x - r);
+    const std::int64_t cx1 = cell_coord(tx_pos.x + r);
+    const std::int64_t cy0 = cell_coord(tx_pos.y - r);
+    const std::int64_t cy1 = cell_coord(tx_pos.y + r);
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+        const auto cell = cells_.find(cell_key(cx, cy));
+        if (cell == cells_.end()) continue;
+        for (const RadioId id : cell->second) {
+          const auto& st = radios_.find(id)->second;
+          if (id == from || st.channel != channel || st.sink == nullptr) {
+            continue;
+          }
+          targets.push_back(id);
+        }
+      }
+    }
+    // Buckets come back in hash order; sort so the fanout matches the
+    // legacy id-ordered scan bit for bit.
+    std::sort(targets.begin(), targets.end());
+  } else {
+    targets.reserve(radios_.size());
+    for (const auto& [id, st] : radios_) {
+      if (id == from || st.channel != channel || st.sink == nullptr) continue;
+      targets.push_back(id);
+    }
   }
   for (const RadioId id : targets) {
     auto it = radios_.find(id);
@@ -103,20 +203,18 @@ void Medium::deliver(RadioId from, const std::vector<std::uint8_t>& bytes,
     ++st.frames_received;
     ++deliveries_;
     FrameSink* sink = st.sink;
-    sink->on_frame(*frame, info);
+    sink->on_frame(frame, info);
   }
 }
 
 // --- Radio handle methods ---
 
 Position Radio::position() const { return medium_->state(id_).pos; }
-void Radio::set_position(Position p) { medium_->state(id_).pos = p; }
+void Radio::set_position(Position p) { medium_->set_position(id_, p); }
 std::uint8_t Radio::channel() const { return medium_->state(id_).channel; }
 void Radio::set_channel(std::uint8_t ch) { medium_->state(id_).channel = ch; }
 double Radio::tx_power_dbm() const { return medium_->state(id_).tx_power_dbm; }
-void Radio::set_tx_power_dbm(double dbm) {
-  medium_->state(id_).tx_power_dbm = dbm;
-}
+void Radio::set_tx_power_dbm(double dbm) { medium_->set_tx_power(id_, dbm); }
 void Radio::set_sink(FrameSink* sink) { medium_->state(id_).sink = sink; }
 
 void Radio::transmit(const dot11::Frame& frame) {

@@ -1,14 +1,24 @@
 // The simulated wireless medium.
 //
 // Replaces the monitor-mode NIC + real airspace of the paper's testbed.
-// Frames are serialized to wire bytes on transmit and parsed on delivery, so
-// the dot11 codec is on the hot path of every simulation — an attacker can
-// only act on information that survives the actual 802.11 wire format.
+// Frames are serialized to wire bytes and parsed back on transmit, so the
+// dot11 codec is on the hot path of every simulation — an attacker can only
+// act on information that survives the actual 802.11 wire format.
+//
+// Delivery fanout is culled by a uniform spatial grid over radio positions:
+// the cell size tracks the maximum deliverable range of the strongest
+// attached transmitter, so a transmission only probes the few cells its own
+// range box overlaps instead of scanning every radio in the venue. The grid
+// is maintained incrementally on attach/detach/set_position; candidates are
+// sorted by radio id before fanout, so delivery order (and therefore every
+// simulation result) is bit-identical to the legacy full scan.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dot11/frame.h"
@@ -30,6 +40,10 @@ class Medium {
     double contention_factor = 2.0;
     /// Management frame rate used for airtime computation.
     double mgmt_rate_mbps = 11.0;
+    /// Spatial-grid receiver culling in deliver(). Disable to force the
+    /// legacy scan over every attached radio (kept for the micro-bench
+    /// comparison in bench/micro_medium; results are identical either way).
+    bool spatial_grid = true;
   };
 
   explicit Medium(EventQueue& events);
@@ -54,6 +68,9 @@ class Medium {
  private:
   friend class Radio;
 
+  /// Grid cell marker for "not in any cell" (grid disabled or detached).
+  static constexpr std::uint64_t kNoCell = ~std::uint64_t{0};
+
   struct RadioState {
     Position pos;
     std::uint8_t channel = 1;
@@ -64,20 +81,42 @@ class Medium {
     std::size_t tx_backlog = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_received = 0;
+    std::uint64_t cell = kNoCell;  // current grid cell key
   };
 
   RadioState& state(RadioId id);
   const RadioState& state(RadioId id) const;
 
   void transmit(RadioId from, const dot11::Frame& frame);
-  void deliver(RadioId from, const std::vector<std::uint8_t>& bytes,
-               std::uint8_t channel, Position tx_pos, double tx_power_dbm);
+  void deliver(RadioId from, const dot11::Frame& frame, std::uint8_t channel,
+               Position tx_pos, double tx_power_dbm);
+
+  /// Radio moved: update its grid cell membership in O(cell occupancy).
+  void set_position(RadioId id, Position pos);
+  /// TX power raised: the grid cell size may need to grow to keep a range
+  /// box within a 3x3 cell neighbourhood.
+  void set_tx_power(RadioId id, double dbm);
+
+  static std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  std::int64_t cell_coord(double v) const;
+  std::uint64_t cell_of(Position pos) const;
+  void grid_insert(RadioId id, RadioState& st);
+  void grid_erase(RadioState& st, RadioId id);
+  /// Recompute the cell size from the strongest transmitter and re-bucket
+  /// every radio. Rare: only when a new power class appears.
+  void grid_rebuild();
 
   EventQueue& events_;
   Config cfg_;
   LogDistancePathLoss propagation_;
   RadioId next_id_ = 1;
   std::map<RadioId, RadioState> radios_;  // ordered for deterministic fanout
+  double cell_size_ = 0.0;
+  double max_tx_power_dbm_ = -1e300;
+  std::unordered_map<std::uint64_t, std::vector<RadioId>> cells_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t transmissions_ = 0;
 };

@@ -1,0 +1,33 @@
+#include "sim/parallel.h"
+
+#include <future>
+
+#include "support/thread_pool.h"
+
+namespace cityhunter::sim {
+
+std::vector<RunOutput> run_campaigns(const World& world,
+                                     std::span<const RunConfig> runs,
+                                     ParallelConfig cfg) {
+  std::vector<RunOutput> outputs;
+  outputs.reserve(runs.size());
+
+  std::size_t workers = cfg.threads;
+  if (workers == 0) workers = support::ThreadPool::default_workers();
+  if (workers <= 1 || runs.size() <= 1) {
+    for (const auto& run : runs) outputs.push_back(run_campaign(world, run));
+    return outputs;
+  }
+
+  support::ThreadPool pool(workers);
+  std::vector<std::future<RunOutput>> futures;
+  futures.reserve(runs.size());
+  for (const auto& run : runs) {
+    futures.push_back(
+        pool.submit([&world, &run] { return run_campaign(world, run); }));
+  }
+  for (auto& f : futures) outputs.push_back(f.get());
+  return outputs;
+}
+
+}  // namespace cityhunter::sim

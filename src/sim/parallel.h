@@ -1,0 +1,31 @@
+// Parallel campaign execution.
+//
+// Every bench in bench/ regenerates a paper figure from dozens of mutually
+// independent discrete-event runs; run_campaigns() fans those runs across a
+// worker pool. Because run_campaign() is pure in the World (const accessors
+// only, per-run RNG seeded world.seed ^ run_seed*φ, per-run PnlModel copy),
+// the parallel output is bit-identical to running the same configs serially
+// in order — scheduling cannot leak into results.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace cityhunter::sim {
+
+struct ParallelConfig {
+  /// Worker threads. 0 = ThreadPool::default_workers(), i.e. the
+  /// CITYHUNTER_THREADS env var if set, else the hardware thread count.
+  std::size_t threads = 0;
+};
+
+/// Run every config in `runs` against the shared immutable `world` and
+/// return the outputs in input order.
+std::vector<RunOutput> run_campaigns(const World& world,
+                                     std::span<const RunConfig> runs,
+                                     ParallelConfig cfg = {});
+
+}  // namespace cityhunter::sim

@@ -45,13 +45,13 @@ const char* to_string(AttackerKind k) {
 
 World::World(ScenarioConfig cfg)
     : cfg_(std::move(cfg)),
+      root_rng_(cfg_.seed),
       city_(cfg_.city),
       aps_([&] {
-        Rng rng(cfg_.seed);
-        auto rng_aps = rng.fork("aps");
+        auto rng_aps = root_rng_.fork("aps");
         auto aps = world::generate_aps(city_, rng_aps, cfg_.aps);
         // Venue-local APs: a few open APs per venue SSID around the site.
-        auto rng_venues = rng.fork("venue-aps");
+        auto rng_venues = root_rng_.fork("venue-aps");
         for (const auto& site : venue_sites()) {
           for (const auto& ssid : site.ssids) {
             for (int i = 0; i < 3; ++i) {
@@ -70,13 +70,11 @@ World::World(ScenarioConfig cfg)
         return aps;
       }()),
       wigle_([&] {
-        Rng rng(cfg_.seed);
-        auto rng_wigle = rng.fork("wigle");
+        auto rng_wigle = root_rng_.fork("wigle");
         return world::WigleDb::snapshot(aps_, rng_wigle, cfg_.wigle_coverage);
       }()),
       photos_([&] {
-        Rng rng(cfg_.seed);
-        auto rng_photos = rng.fork("photos");
+        auto rng_photos = root_rng_.fork("photos");
         return world::PhotoSet::generate(city_, rng_photos, cfg_.photos);
       }()),
       heat_(photos_, city_.width(), city_.height()),
@@ -106,7 +104,7 @@ std::vector<std::string> World::local_public_ssids(medium::Position pos,
   return out;
 }
 
-RunOutput run_campaign(World& world, const RunConfig& cfg) {
+RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   Rng rng(world.config().seed ^ (cfg.run_seed * 0x9e3779b97f4a7c15ULL));
 
   medium::EventQueue events;
@@ -193,19 +191,23 @@ RunOutput run_campaign(World& world, const RunConfig& cfg) {
     }
   }
 
-  // People found at this venue carry locally flavoured PNLs.
+  // People found at this venue carry locally flavoured PNLs. The run owns a
+  // copy of the PNL model: the venue locale and the person/group/home id
+  // counters are per-crowd state, and keeping them out of the shared World
+  // is what makes concurrent runs independent (and reruns reproducible).
+  world::PnlModel pnl = world.pnl_model();
   world::Locale locale;
   locale.ranked_ssids = world.local_public_ssids(attack_city_pos, 500.0);
   locale.bias = 0.45;
-  world.pnl_model().set_locale(std::move(locale));
+  pnl.set_locale(std::move(locale));
 
   auto phone_cfg = world.config().phone;
   if (cfg.venue.mean_scan_interval_s > 0) {
     phone_cfg.mean_scan_interval =
         support::SimTime::seconds(cfg.venue.mean_scan_interval_s);
   }
-  mobility::VenuePopulation population(medium, world.pnl_model(), cfg.venue,
-                                       phone_cfg, rng.fork("population"));
+  mobility::VenuePopulation population(medium, pnl, cfg.venue, phone_cfg,
+                                       rng.fork("population"));
   population.schedule_slot(cfg.duration, slot);
 
   RunOutput out;
@@ -236,6 +238,8 @@ RunOutput run_campaign(World& world, const RunConfig& cfg) {
     out.final_fb_size = hunter->selector().fb_size();
   }
   if (deauth) out.deauths_sent = deauth->deauths_sent();
+  out.frames_transmitted = medium.transmissions();
+  out.frames_delivered = medium.deliveries();
   out.database = attacker->database();
   return out;
 }

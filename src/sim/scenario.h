@@ -48,7 +48,9 @@ struct ScenarioConfig {
 /// the nearest-SSID WiGLE query and for placing the venues' own APs).
 medium::Position venue_city_position(const std::string& venue_name);
 
-/// The static world: built once per scenario seed, shared across runs.
+/// The static world: built once per scenario seed, shared across runs. All
+/// accessors are const — campaigns never mutate the world, which is what
+/// lets run_campaigns() fan them across threads (see sim/parallel.h).
 class World {
  public:
   explicit World(ScenarioConfig cfg);
@@ -57,7 +59,9 @@ class World {
   const std::vector<world::AccessPointInfo>& aps() const { return aps_; }
   const world::WigleDb& wigle() const { return wigle_; }
   const heatmap::HeatMap& heat() const { return heat_; }
-  world::PnlModel& pnl_model() { return pnl_; }
+  /// Shared, immutable PNL model. Anything that needs per-crowd state (the
+  /// venue Locale, person-id counters) copies it first — see run_campaign.
+  const world::PnlModel& pnl_model() const { return pnl_; }
   const ScenarioConfig& config() const { return cfg_; }
 
   /// Open public SSIDs with ground-truth APs within `radius_m` of `pos`,
@@ -67,6 +71,12 @@ class World {
 
  private:
   ScenarioConfig cfg_;
+  /// Root of all world-construction randomness. Each subsystem forks its
+  /// own stream off this root with a stable label ("aps", "venue-aps",
+  /// "wigle", "photos"); fork() never advances the parent, so adding a new
+  /// labelled fork cannot perturb the existing streams. Pick a fresh label
+  /// for any new world-level randomness instead of reseeding from cfg_.
+  Rng root_rng_;
   world::CityModel city_;
   std::vector<world::AccessPointInfo> aps_;
   world::WigleDb wigle_;
@@ -116,6 +126,8 @@ struct SeriesPoint {
   SimTime time;
   std::size_t db_size = 0;
   std::size_t broadcast_connected = 0;
+
+  bool operator==(const SeriesPoint&) const = default;
 };
 
 struct RunOutput {
@@ -127,12 +139,19 @@ struct RunOutput {
   std::size_t db_final_size = 0;
   std::size_t db_from_direct = 0;
   std::uint64_t deauths_sent = 0;
+  /// Medium traffic totals for the run (throughput bookkeeping in
+  /// bench/wallclock).
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t frames_delivered = 0;
   /// Snapshot of the attacker's database at the end of the run (for warm
   /// starting the next slot).
   core::SsidDatabase database;
 };
 
-/// Deploy `cfg.kind` in `cfg.venue` for `cfg.duration` and analyse.
-RunOutput run_campaign(World& world, const RunConfig& cfg);
+/// Deploy `cfg.kind` in `cfg.venue` for `cfg.duration` and analyse. Pure in
+/// the world: the output depends only on (world seed, cfg), never on other
+/// runs — the per-run RNG is seeded world.seed ^ run_seed*φ and the PNL
+/// model is copied, so repeated or concurrent runs are bit-identical.
+RunOutput run_campaign(const World& world, const RunConfig& cfg);
 
 }  // namespace cityhunter::sim

@@ -65,6 +65,7 @@ CampaignResult analyze(const core::Attacker& attacker,
 
 std::vector<WindowRate> realtime_hb(const core::Attacker& attacker,
                                     SimTime window, SimTime duration) {
+  if (window.us() <= 0) return {};  // degenerate window: no rate is defined
   const auto n = static_cast<std::size_t>(
       (duration.us() + window.us() - 1) / window.us());
   std::vector<WindowRate> out(n);

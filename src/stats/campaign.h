@@ -71,6 +71,8 @@ struct CampaignResult {
   std::vector<int> ssids_sent_all_broadcast;
 
   double mean_ssids_sent_connected() const;
+
+  bool operator==(const CampaignResult&) const = default;
 };
 
 /// Analyse an attacker after (or during) a run.
@@ -89,6 +91,8 @@ struct WindowRate {
                                    static_cast<double>(broadcast_clients)
                              : 0.0;
   }
+
+  bool operator==(const WindowRate&) const = default;
 };
 
 std::vector<WindowRate> realtime_hb(const core::Attacker& attacker,

@@ -1,6 +1,7 @@
 #include "support/rng.h"
 
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
@@ -61,6 +62,13 @@ double Rng::exponential_mean(double mean) {
 
 int Rng::poisson(double mean) {
   if (mean <= 0.0) return 0;
+  // glibc's lgamma() — called by poisson_distribution's setup and by its
+  // large-mean rejection sampler — writes the process-global `signgam`,
+  // which is a data race when campaigns run in parallel. Poisson draws are
+  // rare (slot scheduling), so serializing them is cheaper than swapping
+  // the sampler, and keeps the drawn values bit-identical.
+  static std::mutex mutex;
+  const std::scoped_lock lock(mutex);
   std::poisson_distribution<int> d(mean);
   return d(engine_);
 }

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for fanning independent work across cores.
+//
+// Campaigns in bench/ are embarrassingly parallel (one discrete-event world
+// per run), so a plain futures-based pool is all the machinery needed: no
+// work stealing, no task graphs. Tasks may submit further tasks, but must
+// not block on a future produced by the same pool (classic starvation).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cityhunter::support {
+
+class ThreadPool {
+ public:
+  /// `workers` = 0 picks default_workers().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueue `fn` and get a future for its result. Exceptions thrown by the
+  /// task surface from future::get().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Worker count used when none is given: the CITYHUNTER_THREADS env var
+  /// if set to a positive integer, else std::thread::hardware_concurrency().
+  static std::size_t default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cityhunter::support

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/parallel.h"
+#include "support/thread_pool.h"
+
+namespace cityhunter {
+namespace {
+
+using support::ThreadPool;
+
+// --- ThreadPool ---
+
+TEST(ThreadPool, ReturnsFutureValues) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 21 * 2; });
+  auto b = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, TasksMaySubmitFollowUps) {
+  // A task enqueuing more work must not deadlock (workers never hold the
+  // queue lock while running a task).
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  auto outer = pool.submit([&] {
+    ++count;
+    return pool.submit([&count] { ++count; });
+  });
+  outer.get().get();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, QueuedTasksFinishBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DefaultWorkersHonoursEnvOverride) {
+  ::setenv("CITYHUNTER_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_workers(), 3u);
+  ::setenv("CITYHUNTER_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+  ::unsetenv("CITYHUNTER_THREADS");
+  EXPECT_GE(ThreadPool::default_workers(), 1u);
+}
+
+// --- run_campaigns ---
+
+sim::ScenarioConfig small_scenario() {
+  sim::ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.aps.residential_ap_count = 800;
+  cfg.aps.small_venue_count = 400;
+  cfg.aps.enterprise_ap_count = 150;
+  cfg.photos.photo_count = 8000;
+  return cfg;
+}
+
+/// Eight runs cycling through every attacker kind with varied seeds and
+/// venues; two of them also sample a series.
+std::vector<sim::RunConfig> mixed_runs() {
+  const sim::AttackerKind kinds[] = {
+      sim::AttackerKind::kKarma, sim::AttackerKind::kMana,
+      sim::AttackerKind::kPrelim, sim::AttackerKind::kCityHunter};
+  std::vector<sim::RunConfig> runs;
+  for (int i = 0; i < 8; ++i) {
+    sim::RunConfig run;
+    run.kind = kinds[i % 4];
+    run.venue = (i % 2 == 0) ? mobility::canteen_venue()
+                             : mobility::subway_passage_venue();
+    run.slot.expected_clients = 80 + 20 * i;
+    run.duration = support::SimTime::minutes(5);
+    run.run_seed = static_cast<std::uint64_t>(i + 1);
+    if (i % 3 == 0) run.sample_every = support::SimTime::minutes(1);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+void expect_identical(const sim::RunOutput& a, const sim::RunOutput& b) {
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.series, b.series);
+  EXPECT_EQ(a.window_rates, b.window_rates);
+  EXPECT_EQ(a.final_pb_size, b.final_pb_size);
+  EXPECT_EQ(a.final_fb_size, b.final_fb_size);
+  EXPECT_EQ(a.db_final_size, b.db_final_size);
+  EXPECT_EQ(a.db_from_direct, b.db_from_direct);
+  EXPECT_EQ(a.deauths_sent, b.deauths_sent);
+  EXPECT_EQ(a.frames_transmitted, b.frames_transmitted);
+  EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+}
+
+TEST(RunCampaigns, ParallelIsBitIdenticalToSerial) {
+  sim::World world(small_scenario());
+  const auto runs = mixed_runs();
+
+  std::vector<sim::RunOutput> serial;
+  serial.reserve(runs.size());
+  for (const auto& run : runs) {
+    serial.push_back(sim::run_campaign(world, run));
+  }
+
+  const auto parallel =
+      sim::run_campaigns(world, runs, sim::ParallelConfig{4});
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(RunCampaigns, OutputsPreserveInputOrder) {
+  sim::World world(small_scenario());
+  // Same run at different seeds: outputs must line up with their configs,
+  // not with completion order.
+  std::vector<sim::RunConfig> runs(3);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].kind = sim::AttackerKind::kMana;
+    runs[i].slot.expected_clients = 100;
+    runs[i].duration = support::SimTime::minutes(5);
+    runs[i].run_seed = i + 1;
+  }
+  const auto outputs = sim::run_campaigns(world, runs, sim::ParallelConfig{3});
+  ASSERT_EQ(outputs.size(), 3u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto expected = sim::run_campaign(world, runs[i]);
+    SCOPED_TRACE(i);
+    expect_identical(expected, outputs[i]);
+  }
+}
+
+TEST(RunCampaigns, SingleThreadAndEmptyInputWork) {
+  sim::World world(small_scenario());
+  EXPECT_TRUE(sim::run_campaigns(world, {}).empty());
+
+  std::vector<sim::RunConfig> one(1);
+  one[0].kind = sim::AttackerKind::kKarma;
+  one[0].slot.expected_clients = 60;
+  one[0].duration = support::SimTime::minutes(2);
+  const auto outputs = sim::run_campaigns(world, one, sim::ParallelConfig{1});
+  ASSERT_EQ(outputs.size(), 1u);
+  expect_identical(sim::run_campaign(world, one[0]), outputs[0]);
+}
+
+}  // namespace
+}  // namespace cityhunter

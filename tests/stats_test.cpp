@@ -121,6 +121,16 @@ TEST_F(CampaignTest, WindowRatesBucketByFirstSeen) {
   EXPECT_EQ(windows[1].start, SimTime::minutes(2));
 }
 
+TEST_F(CampaignTest, WindowRatesRejectDegenerateWindow) {
+  add_client(1, false, false);
+  // A non-positive window defines no rate; guard instead of dividing by
+  // zero (an infinite loop / empty-modulo before the fix).
+  EXPECT_TRUE(
+      realtime_hb(*attacker_, SimTime::zero(), SimTime::minutes(6)).empty());
+  EXPECT_TRUE(realtime_hb(*attacker_, SimTime::seconds(-1), SimTime::minutes(6))
+                  .empty());
+}
+
 TEST_F(CampaignTest, WindowRateComputesFraction) {
   WindowRate w;
   w.broadcast_clients = 4;
