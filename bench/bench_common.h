@@ -3,7 +3,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "sim/parallel.h"
 #include "sim/scenario.h"
 #include "stats/report.h"
 #include "support/histogram.h"
@@ -31,6 +33,21 @@ inline void paper_vs_measured(const char* metric, const char* paper,
                               const std::string& measured) {
   std::printf("  %-34s paper: %-18s measured: %s\n", metric, paper,
               measured.c_str());
+}
+
+/// Print each failed run's error and a partial-campaign banner. Returns the
+/// failed-run count so callers can skip figures that need every run.
+inline std::size_t report_failed_runs(
+    const std::vector<sim::RunOutput>& outputs) {
+  const std::size_t failed = sim::failed_runs(outputs);
+  if (failed == 0) return 0;
+  for (const auto& out : outputs) {
+    if (!out.error.empty()) std::printf("  !! failed run: %s\n",
+                                        out.error.c_str());
+  }
+  std::printf("  !! %zu of %zu runs failed; results below are partial\n",
+              failed, outputs.size());
+  return failed;
 }
 
 }  // namespace cityhunter::bench

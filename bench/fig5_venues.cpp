@@ -38,6 +38,7 @@ int main() {
     }
   }
   const auto outputs = sim::run_campaigns(world, runs);
+  bench::report_failed_runs(outputs);
 
   int venue_index = 0;
   for (const auto& venue : venues) {

@@ -6,7 +6,11 @@ namespace cityhunter::medium {
 
 EventHandle EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) {
-    throw std::invalid_argument("EventQueue: scheduling in the past");
+    // Spell out both times: retry/backoff scheduling bugs show up as
+    // near-miss negative delays, and "in the past" alone is undebuggable.
+    throw std::invalid_argument(
+        "EventQueue: scheduling in the past (now=" + now_.str() +
+        ", requested=" + t.str() + ")");
   }
   auto alive = std::make_shared<bool>(true);
   queue_.push(Event{t, next_seq_++, std::move(fn), alive});

@@ -12,7 +12,19 @@ namespace cityhunter::medium {
 Medium::Medium(EventQueue& events) : Medium(events, Config()) {}
 
 Medium::Medium(EventQueue& events, Config cfg)
-    : events_(events), cfg_(cfg), propagation_(cfg.propagation) {}
+    : events_(events),
+      cfg_(cfg),
+      propagation_(cfg.propagation),
+      fault_(cfg.fault) {
+  // Negated comparisons so NaN is rejected too.
+  if (!(cfg_.contention_factor > 0.0)) {
+    throw std::invalid_argument(
+        "Medium: contention_factor must be positive");
+  }
+  if (!(cfg_.mgmt_rate_mbps > 0.0)) {
+    throw std::invalid_argument("Medium: mgmt_rate_mbps must be positive");
+  }
+}
 
 Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
                      FrameSink* sink) {
@@ -122,42 +134,94 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
   const std::size_t bytes = dot11::wire_size(frame);
   const SimTime air =
       dot11::airtime(bytes, cfg_.mgmt_rate_mbps) * cfg_.contention_factor;
-  const SimTime start = std::max(events_.now(), st.tx_busy_until);
-  const SimTime done = start + air;
-  st.tx_busy_until = done;
-  ++st.tx_backlog;
+  SimTime occupancy = air;
   ++transmissions_;
 
   // Round-trip through the wire format once, at transmit time: every
   // receiver shares the parsed result instead of deliver() re-parsing the
   // byte vector per transmission. Receivers still only ever see what
-  // survives serialization. Capture everything by value: the sender may
-  // move or detach before the frame lands. Queue epoch lets
-  // clear_tx_queue() abort in-flight sends.
+  // survives serialization.
+  std::vector<std::uint8_t> wire = dot11::serialize(frame);
+
+  // Fault injection. The stream is a pure function of (seed, radio, frame
+  // sequence), so the draws below cannot be perturbed by anything else in
+  // the simulation. A failed attempt of a *unicast* management frame — an
+  // ambient collision at the addressed receiver (no ACK comes back) or an
+  // interference burst corrupting the attempt — is retransmitted up to
+  // retry_limit times, each retry paying a contention backoff (scaled like
+  // airtime by the contention factor) plus the frame's airtime again: the
+  // link layer repairs loss by spending the 40-response scan budget.
+  // Broadcasts are unacknowledged and get exactly one attempt, eating the
+  // full per-receiver loss in deliver().
+  std::optional<support::Rng> fault_rng;
+  bool erased = false;
+  if (fault_.enabled()) {
+    fault_rng = fault_.stream(from, st.tx_seq++);
+    const bool unicast = !frame.header.addr1.is_multicast();
+    // Per attempt: collision at the receiver, then a corruption burst.
+    // Both are drawn every attempt so the stream layout is fixed.
+    bool collided = unicast && fault_rng->chance(fault_.config().ambient_loss);
+    bool corrupted = fault_rng->chance(fault_.config().corruption_rate);
+    int attempt = 0;
+    while ((collided || corrupted) && unicast &&
+           attempt < fault_.config().retry_limit) {
+      ++attempt;
+      ++st.tx_retries;
+      ++retries_;
+      occupancy +=
+          fault_.backoff(attempt, *fault_rng) * cfg_.contention_factor + air;
+      collided = fault_rng->chance(fault_.config().ambient_loss);
+      corrupted = fault_rng->chance(fault_.config().corruption_rate);
+    }
+    if (collided) {
+      // Retry budget exhausted on a collision: the frame never reached its
+      // receiver at all.
+      erased = true;
+      ++frames_lost_;
+    } else if (corrupted) {
+      // Retry budget exhausted on a burst (or a corrupted broadcast): the
+      // delivered bytes carry real bit damage and every receiver's FCS
+      // check will reject them.
+      ++frames_corrupted_;
+      fault_.corrupt(wire, *fault_rng);
+    }
+  }
+
+  const SimTime start = std::max(events_.now(), st.tx_busy_until);
+  const SimTime done = start + occupancy;
+  st.tx_busy_until = done;
+  ++st.tx_backlog;
+
+  // Capture everything by value: the sender may move or detach before the
+  // frame lands. Queue epoch lets clear_tx_queue() abort in-flight sends.
   auto wire_frame = std::make_shared<const std::optional<dot11::Frame>>(
-      dot11::parse(dot11::serialize(frame)));
+      dot11::parse(wire));
   const std::uint64_t epoch = st.queue_epoch;
   const Position tx_pos = st.pos;
   const double tx_dbm = st.tx_power_dbm;
   const std::uint8_t channel = st.channel;
-  events_.schedule_at(done, [this, from, epoch, wire_frame = std::move(wire_frame),
-                             channel, tx_pos, tx_dbm] {
+  events_.schedule_at(done, [this, from, epoch, erased,
+                             wire_frame = std::move(wire_frame), channel,
+                             tx_pos, tx_dbm,
+                             fault_rng = std::move(fault_rng)]() mutable {
     auto it = radios_.find(from);
     if (it != radios_.end()) {
       if (it->second.queue_epoch != epoch) return;  // queue was cleared
       --it->second.tx_backlog;
       ++it->second.frames_sent;
     }
-    if (!wire_frame->has_value()) return;  // corrupted on the wire — cannot
-                                           // happen here, but a real receiver
-                                           // drops bad-FCS frames silently
-    deliver(from, **wire_frame, channel, tx_pos, tx_dbm);
+    if (erased) return;  // collided away after the full retry budget
+    if (!wire_frame->has_value()) return;  // corrupted on the wire — a real
+                                           // receiver drops bad-FCS frames
+                                           // silently
+    deliver(from, **wire_frame, channel, tx_pos, tx_dbm,
+            fault_rng ? &*fault_rng : nullptr);
   });
 }
 
 void Medium::deliver(RadioId from, const dot11::Frame& frame,
                      std::uint8_t channel, Position tx_pos,
-                     double tx_power_dbm) {
+                     double tx_power_dbm, support::Rng* fault_rng) {
   // Snapshot receiver ids first: a sink callback may attach/detach radios.
   std::vector<RadioId> targets;
   if (cfg_.spatial_grid && !cells_.empty()) {
@@ -196,8 +260,23 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
     auto& st = it->second;
     const double d = distance(tx_pos, st.pos);
     if (!propagation_.deliverable(tx_power_dbm, d)) continue;
+    const double rx_dbm = propagation_.rx_power_dbm(tx_power_dbm, d);
+    if (fault_rng != nullptr &&
+        fault_rng->chance(frame.header.addr1.is_multicast()
+                              ? fault_.link_loss(rx_dbm)
+                              : fault_.per(rx_dbm))) {
+      // Erased on this link. Broadcasts eat the full loss (SNR-derived PER
+      // plus the ambient collision floor); unicast frames already paid the
+      // ambient floor in the ACK-driven retry loop at TX, so only the
+      // edge-of-range SNR loss — which no retransmission repairs — applies
+      // here. Draws consume from the transmission's own stream in sorted
+      // receiver order, keeping lossy runs bit-identical.
+      ++st.rx_lost;
+      ++frames_lost_;
+      continue;
+    }
     RxInfo info;
-    info.rssi_dbm = propagation_.rx_power_dbm(tx_power_dbm, d);
+    info.rssi_dbm = rx_dbm;
     info.time = events_.now();
     info.channel = channel;
     ++st.frames_received;
@@ -235,6 +314,12 @@ std::uint64_t Radio::frames_sent() const {
 }
 std::uint64_t Radio::frames_received() const {
   return medium_->state(id_).frames_received;
+}
+std::uint64_t Radio::tx_retries() const {
+  return medium_->state(id_).tx_retries;
+}
+std::uint64_t Radio::frames_lost() const {
+  return medium_->state(id_).rx_lost;
 }
 
 }  // namespace cityhunter::medium

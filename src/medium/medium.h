@@ -23,6 +23,7 @@
 
 #include "dot11/frame.h"
 #include "medium/event_queue.h"
+#include "medium/fault.h"
 #include "medium/geometry.h"
 #include "medium/propagation.h"
 #include "medium/radio.h"
@@ -44,9 +45,14 @@ class Medium {
     /// legacy scan over every attached radio (kept for the micro-bench
     /// comparison in bench/micro_medium; results are identical either way).
     bool spatial_grid = true;
+    /// Deterministic fault injection (loss, corruption, retries). Disabled
+    /// by default: the perfect channel stays byte-identical to the seed.
+    FaultModel::Config fault{};
   };
 
   explicit Medium(EventQueue& events);
+  /// Throws std::invalid_argument when `cfg` is nonsense
+  /// (contention_factor <= 0, mgmt_rate_mbps <= 0, bad fault config).
   Medium(EventQueue& events, Config cfg);
 
   /// Create a radio at `pos` on `channel` with `tx_power_dbm`.
@@ -60,10 +66,17 @@ class Medium {
   EventQueue& events() { return events_; }
   const Config& config() const { return cfg_; }
   const LogDistancePathLoss& propagation() const { return propagation_; }
+  const FaultModel& fault() const { return fault_; }
 
   /// Total frames ever delivered (for tests/benches).
   std::uint64_t deliveries() const { return deliveries_; }
   std::uint64_t transmissions() const { return transmissions_; }
+  /// Fault-injection totals: per-receiver erasures, transmissions whose
+  /// final attempt was bit-corrupted, and 802.11 retransmissions. All zero
+  /// while the fault model is disabled.
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  std::uint64_t retries() const { return retries_; }
 
  private:
   friend class Radio;
@@ -81,15 +94,22 @@ class Medium {
     std::size_t tx_backlog = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_received = 0;
-    std::uint64_t cell = kNoCell;  // current grid cell key
+    std::uint64_t tx_seq = 0;       // fault-stream key, one per transmit()
+    std::uint64_t tx_retries = 0;   // 802.11 retransmissions by this radio
+    std::uint64_t rx_lost = 0;      // frames erased on the way to this radio
+    std::uint64_t cell = kNoCell;   // current grid cell key
   };
 
   RadioState& state(RadioId id);
   const RadioState& state(RadioId id) const;
 
   void transmit(RadioId from, const dot11::Frame& frame);
+  /// `fault_rng` is the transmission's dedicated fault stream (nullptr when
+  /// fault injection is off); per-receiver erasure draws consume from it in
+  /// the sorted fanout order, so delivery stays deterministic.
   void deliver(RadioId from, const dot11::Frame& frame, std::uint8_t channel,
-               Position tx_pos, double tx_power_dbm);
+               Position tx_pos, double tx_power_dbm,
+               support::Rng* fault_rng = nullptr);
 
   /// Radio moved: update its grid cell membership in O(cell occupancy).
   void set_position(RadioId id, Position pos);
@@ -112,6 +132,7 @@ class Medium {
   EventQueue& events_;
   Config cfg_;
   LogDistancePathLoss propagation_;
+  FaultModel fault_;
   RadioId next_id_ = 1;
   std::map<RadioId, RadioState> radios_;  // ordered for deterministic fanout
   double cell_size_ = 0.0;
@@ -119,6 +140,9 @@ class Medium {
   std::unordered_map<std::uint64_t, std::vector<RadioId>> cells_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t transmissions_ = 0;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace cityhunter::medium

@@ -62,6 +62,11 @@ class Radio {
 
   std::uint64_t frames_sent() const;
   std::uint64_t frames_received() const;
+  /// Fault-injection counters (zero while the medium's FaultModel is off):
+  /// 802.11 retransmissions this radio paid for, and frames erased on their
+  /// way to this radio.
+  std::uint64_t tx_retries() const;
+  std::uint64_t frames_lost() const;
 
  private:
   friend class Medium;

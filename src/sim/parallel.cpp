@@ -1,10 +1,55 @@
 #include "sim/parallel.h"
 
 #include <future>
+#include <string>
+#include <utility>
 
 #include "support/thread_pool.h"
 
 namespace cityhunter::sim {
+
+namespace {
+
+std::string describe_failure(const RunConfig& run, const char* what) {
+  return "run_seed=" + std::to_string(run.run_seed) +
+         " venue=" + run.venue.name + " attacker=" + to_string(run.kind) +
+         ": " + what;
+}
+
+/// run_campaign with the exception firewall: a throwing run yields a
+/// default RunOutput carrying the failure description instead of
+/// propagating and discarding every other run's result.
+RunOutput run_guarded(const World& world, const RunConfig& run) {
+  try {
+    return run_campaign(world, run);
+  } catch (const std::exception& e) {
+    RunOutput out;
+    out.error = describe_failure(run, e.what());
+    return out;
+  } catch (...) {
+    RunOutput out;
+    out.error = describe_failure(run, "unknown exception");
+    return out;
+  }
+}
+
+/// Retry each failed run once, each on a fresh thread: a crash caused by a
+/// poisoned pool worker (TLS, FP state) should not condemn the rerun. A run
+/// that fails twice keeps its second error.
+void retry_failed(const World& world, std::span<const RunConfig> runs,
+                  std::vector<RunOutput>& outputs) {
+  std::vector<std::pair<std::size_t, std::future<RunOutput>>> retries;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].error.empty()) continue;
+    retries.emplace_back(
+        i, std::async(std::launch::async, [&world, &run = runs[i]] {
+          return run_guarded(world, run);
+        }));
+  }
+  for (auto& [i, f] : retries) outputs[i] = f.get();
+}
+
+}  // namespace
 
 std::vector<RunOutput> run_campaigns(const World& world,
                                      std::span<const RunConfig> runs,
@@ -15,7 +60,8 @@ std::vector<RunOutput> run_campaigns(const World& world,
   std::size_t workers = cfg.threads;
   if (workers == 0) workers = support::ThreadPool::default_workers();
   if (workers <= 1 || runs.size() <= 1) {
-    for (const auto& run : runs) outputs.push_back(run_campaign(world, run));
+    for (const auto& run : runs) outputs.push_back(run_guarded(world, run));
+    retry_failed(world, runs, outputs);
     return outputs;
   }
 
@@ -24,10 +70,21 @@ std::vector<RunOutput> run_campaigns(const World& world,
   futures.reserve(runs.size());
   for (const auto& run : runs) {
     futures.push_back(
-        pool.submit([&world, &run] { return run_campaign(world, run); }));
+        pool.submit([&world, &run] { return run_guarded(world, run); }));
   }
+  // run_guarded never throws, so every future resolves and every healthy
+  // run's output is collected regardless of failures elsewhere.
   for (auto& f : futures) outputs.push_back(f.get());
+  retry_failed(world, runs, outputs);
   return outputs;
+}
+
+std::size_t failed_runs(const std::vector<RunOutput>& outputs) {
+  std::size_t n = 0;
+  for (const auto& out : outputs) {
+    if (!out.error.empty()) ++n;
+  }
+  return n;
 }
 
 }  // namespace cityhunter::sim

@@ -6,6 +6,12 @@
 // only, per-run RNG seeded world.seed ^ run_seed*φ, per-run PnlModel copy),
 // the parallel output is bit-identical to running the same configs serially
 // in order — scheduling cannot leak into results.
+//
+// Failure isolation: a run that throws no longer kills the campaign. Its
+// exception is captured into RunOutput::error (tagged with run seed, venue
+// and attacker kind), the run is retried once on a fresh thread, and every
+// healthy run's result survives — benches report partial campaigns with an
+// explicit failed-run count instead of dying on the first future::get().
 #pragma once
 
 #include <cstddef>
@@ -23,9 +29,13 @@ struct ParallelConfig {
 };
 
 /// Run every config in `runs` against the shared immutable `world` and
-/// return the outputs in input order.
+/// return the outputs in input order. Never throws for a failing run: see
+/// RunOutput::error.
 std::vector<RunOutput> run_campaigns(const World& world,
                                      std::span<const RunConfig> runs,
                                      ParallelConfig cfg = {});
+
+/// Number of outputs whose run failed (RunOutput::error set).
+std::size_t failed_runs(const std::vector<RunOutput>& outputs);
 
 }  // namespace cityhunter::sim

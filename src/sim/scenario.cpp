@@ -108,7 +108,15 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   Rng rng(world.config().seed ^ (cfg.run_seed * 0x9e3779b97f4a7c15ULL));
 
   medium::EventQueue events;
-  medium::Medium medium(events, world.config().medium);
+  medium::Medium::Config medium_cfg =
+      cfg.medium ? *cfg.medium : world.config().medium;
+  if (medium_cfg.fault.enabled) {
+    // Re-key the fault streams per run off the run's labelled RNG root, so
+    // repeated slots see different channel noise but every rerun of the
+    // same (world seed, run config) is bit-identical at any thread count.
+    medium_cfg.fault.seed = rng.fork("fault").engine()();
+  }
+  medium::Medium medium(events, medium_cfg);
 
   // Attacker at the local origin of the venue frame.
   core::Attacker::BaseConfig base;
@@ -240,6 +248,7 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   if (deauth) out.deauths_sent = deauth->deauths_sent();
   out.frames_transmitted = medium.transmissions();
   out.frames_delivered = medium.deliveries();
+  out.medium_stats = stats::medium_stats(medium);
   out.database = attacker->database();
   return out;
 }

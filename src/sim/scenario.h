@@ -115,6 +115,11 @@ struct RunConfig {
   /// Sample the database size at this interval (Fig 1a). Unset = no series.
   std::optional<SimTime> sample_every;
 
+  /// Override the world's medium config for this run. Fault-injection
+  /// sweeps (bench/ablation_loss) vary loss settings per run against one
+  /// shared — expensive to build — World.
+  std::optional<medium::Medium::Config> medium;
+
   /// Warm start: carry over a database from a previous slot instead of
   /// re-initialising (the paper re-initialised before every test; this knob
   /// quantifies what that choice cost). Applied after WiGLE seeding, so
@@ -143,9 +148,16 @@ struct RunOutput {
   /// bench/wallclock).
   std::uint64_t frames_transmitted = 0;
   std::uint64_t frames_delivered = 0;
+  /// Channel-side counters incl. fault-injection losses/retries (zeros on a
+  /// perfect channel).
+  stats::MediumStats medium_stats;
   /// Snapshot of the attacker's database at the end of the run (for warm
   /// starting the next slot).
   core::SsidDatabase database;
+  /// Set by run_campaigns() when this run threw instead of completing:
+  /// "run_seed=<seed> venue=<name> attacker=<kind>: <what>". Empty on
+  /// success; a failed run's other fields are default-initialised.
+  std::string error;
 };
 
 /// Deploy `cfg.kind` in `cfg.venue` for `cfg.duration` and analyse. Pure in

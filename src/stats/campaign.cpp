@@ -63,6 +63,16 @@ CampaignResult analyze(const core::Attacker& attacker,
   return r;
 }
 
+MediumStats medium_stats(const medium::Medium& medium) {
+  MediumStats m;
+  m.transmissions = medium.transmissions();
+  m.deliveries = medium.deliveries();
+  m.frames_lost = medium.frames_lost();
+  m.frames_corrupted = medium.frames_corrupted();
+  m.retries = medium.retries();
+  return m;
+}
+
 std::vector<WindowRate> realtime_hb(const core::Attacker& attacker,
                                     SimTime window, SimTime duration) {
   if (window.us() <= 0) return {};  // degenerate window: no rate is defined

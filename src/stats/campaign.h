@@ -11,15 +11,42 @@
 // and by selection buffer (popularity vs freshness, ghosts included).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/attacker.h"
+#include "medium/medium.h"
 #include "support/sim_time.h"
 
 namespace cityhunter::stats {
 
 using support::SimTime;
+
+/// Channel-side counters for one run: what the medium transmitted,
+/// delivered, lost, corrupted and retried. The fault-injection complement
+/// to the attacker-side CampaignResult; all fault fields stay zero while
+/// the medium's FaultModel is disabled.
+struct MediumStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t frames_lost = 0;      // per-receiver erasures
+  std::uint64_t frames_corrupted = 0; // TX bursts that kept bit damage
+  std::uint64_t retries = 0;          // 802.11 retransmissions
+
+  /// Fraction of otherwise-decodable deliveries the fault model erased.
+  double loss_rate() const {
+    const std::uint64_t reachable = deliveries + frames_lost;
+    return reachable ? static_cast<double>(frames_lost) /
+                           static_cast<double>(reachable)
+                     : 0.0;
+  }
+
+  bool operator==(const MediumStats&) const = default;
+};
+
+/// Snapshot the medium's counters after (or during) a run.
+MediumStats medium_stats(const medium::Medium& medium);
 
 struct CampaignResult {
   std::string label;

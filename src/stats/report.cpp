@@ -34,4 +34,13 @@ std::string summary_line(const CampaignResult& r) {
   return os.str();
 }
 
+std::string loss_line(const MediumStats& m) {
+  std::ostringstream os;
+  os << "tx=" << m.transmissions << " delivered=" << m.deliveries
+     << " lost=" << m.frames_lost << " ("
+     << support::TextTable::pct(m.loss_rate()) << ") corrupted="
+     << m.frames_corrupted << " retries=" << m.retries;
+  return os.str();
+}
+
 }  // namespace cityhunter::stats

@@ -15,4 +15,8 @@ std::string comparison_table(const std::vector<CampaignResult>& rows);
 /// One-line summary for logs.
 std::string summary_line(const CampaignResult& r);
 
+/// One-line channel summary for logs and lossy-channel benches, e.g.
+///   "tx=1200 delivered=3400 lost=510 (13.0%) corrupted=24 retries=96".
+std::string loss_line(const MediumStats& m);
+
 }  // namespace cityhunter::stats

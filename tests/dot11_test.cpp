@@ -262,6 +262,35 @@ TEST_P(FrameRoundTrip, TruncationIsRejected) {
   }
 }
 
+// Exhaustive deterministic fuzz: the fault model flips arbitrary bits in the
+// wire buffer, so *every* single-bit corruption of *every* frame kind must be
+// rejected by the FCS (CRC-32 catches all single-bit errors) and must never
+// throw out of parse().
+TEST_P(FrameRoundTrip, EverySingleBitFlipIsRejected) {
+  const auto bytes = serialize(sample_frame(GetParam()));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = bytes;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      std::optional<Frame> parsed;
+      EXPECT_NO_THROW(parsed = parse(mutated))
+          << "octet " << i << " bit " << bit;
+      EXPECT_FALSE(parsed.has_value()) << "octet " << i << " bit " << bit;
+    }
+  }
+}
+
+// Exhaustive truncation: every prefix length short of the full frame parses
+// to nullopt without throwing.
+TEST_P(FrameRoundTrip, EveryTruncationIsRejected) {
+  const auto bytes = serialize(sample_frame(GetParam()));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::optional<Frame> parsed;
+    EXPECT_NO_THROW(parsed = parse(std::span(bytes.data(), len))) << len;
+    EXPECT_FALSE(parsed.has_value()) << "len=" << len;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllFrameKinds, FrameRoundTrip,
                          ::testing::Range(0, 11));
 

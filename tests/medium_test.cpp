@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "dot11/serialize.h"
@@ -90,6 +91,23 @@ TEST(EventQueue, RejectsPastScheduling) {
   q.run_until(SimTime::seconds(3.0));
   EXPECT_THROW(q.schedule_at(SimTime::seconds(1.0), [] {}),
                std::invalid_argument);
+}
+
+TEST(EventQueue, PastSchedulingErrorNamesBothTimes) {
+  EventQueue q;
+  q.run_until(SimTime::seconds(3.0));
+  try {
+    q.schedule_at(SimTime::seconds(1.0), [] {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("now="), std::string::npos) << what;
+    EXPECT_NE(what.find("requested="), std::string::npos) << what;
+    EXPECT_NE(what.find(SimTime::seconds(3.0).str()), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(SimTime::seconds(1.0).str()), std::string::npos)
+        << what;
+  }
 }
 
 // --- Propagation ---

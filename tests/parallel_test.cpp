@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/parallel.h"
@@ -117,6 +118,8 @@ void expect_identical(const sim::RunOutput& a, const sim::RunOutput& b) {
   EXPECT_EQ(a.deauths_sent, b.deauths_sent);
   EXPECT_EQ(a.frames_transmitted, b.frames_transmitted);
   EXPECT_EQ(a.frames_delivered, b.frames_delivered);
+  EXPECT_EQ(a.medium_stats, b.medium_stats);
+  EXPECT_EQ(a.error, b.error);
 }
 
 TEST(RunCampaigns, ParallelIsBitIdenticalToSerial) {
@@ -156,6 +159,69 @@ TEST(RunCampaigns, OutputsPreserveInputOrder) {
     SCOPED_TRACE(i);
     expect_identical(expected, outputs[i]);
   }
+}
+
+// --- Failure isolation ---
+
+/// Three short runs; the middle one carries a medium override that the
+/// Medium constructor rejects, so it deterministically throws inside
+/// run_campaign.
+std::vector<sim::RunConfig> runs_with_poison(const sim::World& world) {
+  std::vector<sim::RunConfig> runs(3);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    runs[i].kind = sim::AttackerKind::kMana;
+    runs[i].slot.expected_clients = 80;
+    runs[i].duration = support::SimTime::minutes(2);
+    runs[i].run_seed = i + 1;
+  }
+  medium::Medium::Config bad = world.config().medium;
+  bad.contention_factor = -1.0;
+  runs[1].medium = bad;
+  return runs;
+}
+
+void expect_failure_isolated(const sim::World& world,
+                             const std::vector<sim::RunConfig>& runs,
+                             const std::vector<sim::RunOutput>& outputs) {
+  ASSERT_EQ(outputs.size(), runs.size());
+  // The poisoned run reports its identity and the exception text instead of
+  // taking the campaign down.
+  EXPECT_EQ(sim::failed_runs(outputs), 1u);
+  EXPECT_NE(outputs[1].error.find("run_seed=2"), std::string::npos)
+      << outputs[1].error;
+  EXPECT_NE(outputs[1].error.find("contention_factor"), std::string::npos)
+      << outputs[1].error;
+  EXPECT_EQ(outputs[1].result.total_clients, 0u);
+  // Healthy neighbours are untouched: bit-identical to standalone runs.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(outputs[i].error.empty()) << outputs[i].error;
+    expect_identical(sim::run_campaign(world, runs[i]), outputs[i]);
+  }
+}
+
+TEST(RunCampaigns, ThrowingRunIsIsolatedInThePool) {
+  sim::World world(small_scenario());
+  const auto runs = runs_with_poison(world);
+  const auto outputs =
+      sim::run_campaigns(world, runs, sim::ParallelConfig{4});
+  expect_failure_isolated(world, runs, outputs);
+}
+
+TEST(RunCampaigns, ThrowingRunIsIsolatedOnTheSerialPath) {
+  sim::World world(small_scenario());
+  const auto runs = runs_with_poison(world);
+  const auto outputs =
+      sim::run_campaigns(world, runs, sim::ParallelConfig{1});
+  expect_failure_isolated(world, runs, outputs);
+}
+
+TEST(RunCampaigns, FailedRunsCountsEveryError) {
+  std::vector<sim::RunOutput> outputs(4);
+  EXPECT_EQ(sim::failed_runs(outputs), 0u);
+  outputs[0].error = "run_seed=1 venue=v attacker=a: boom";
+  outputs[3].error = "run_seed=4 venue=v attacker=a: boom";
+  EXPECT_EQ(sim::failed_runs(outputs), 2u);
 }
 
 TEST(RunCampaigns, SingleThreadAndEmptyInputWork) {
