@@ -1,0 +1,82 @@
+// Heap-allocation counter for perf smoke tests and micro-benches.
+//
+// When CITYHUNTER_COUNT_ALLOCS is defined, this header replaces the global
+// allocating operator new/new[] (and the matching deletes) with versions
+// that bump a process-wide counter, so a test can assert "this hot loop
+// performed N allocations" instead of eyeballing a profiler. Without the
+// macro only the counter API is compiled and alloc_count() stays at zero.
+//
+// Include from exactly one translation unit per binary (each test/bench is
+// a single-TU executable, so including it from the main source is enough):
+// the replacement operators are deliberately non-inline definitions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cityhunter::bench {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace detail
+
+/// Heap allocations (operator new / new[]) since process start. Monotonic;
+/// sample before and after the region of interest and subtract.
+inline std::uint64_t alloc_count() {
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace cityhunter::bench
+
+#ifdef CITYHUNTER_COUNT_ALLOCS
+
+#include <cstdlib>
+#include <new>
+
+namespace cityhunter::bench::detail {
+
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+inline void* counted_alloc(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace cityhunter::bench::detail
+
+void* operator new(std::size_t size) {
+  return cityhunter::bench::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return cityhunter::bench::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return cityhunter::bench::detail::counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return cityhunter::bench::detail::counted_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // CITYHUNTER_COUNT_ALLOCS

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+// Heap-allocation counter (active only under CITYHUNTER_COUNT_ALLOCS; see
+// bench/CMakeLists.txt for which targets enable it).
+#include "alloc_counter.h"
+
 #include "sim/parallel.h"
 #include "sim/scenario.h"
 #include "stats/report.h"

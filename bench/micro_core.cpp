@@ -1,4 +1,8 @@
 // Micro-benchmarks: attacker data-structure hot paths (google-benchmark).
+// The selection/cache loops report allocs_per_op so allocation regressions
+// on the attacker side are visible next to the time/op numbers.
+#include "alloc_counter.h"
+
 #include <benchmark/benchmark.h>
 
 #include "cache/arc_cache.h"
@@ -55,22 +59,30 @@ void BM_BufferSelect(benchmark::State& state) {
   const auto by_fresh = db.by_freshness();
   std::unordered_set<std::string> sent;
   for (int i = 0; i < 60; ++i) sent.insert("SSID-" + std::to_string(i));
+  const auto a0 = bench::alloc_count();
   for (auto _ : state) {
     auto choices = selector.select(by_weight, by_fresh, &sent);
     benchmark::DoNotOptimize(choices);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 40);
+  state.counters["allocs_per_op"] =
+      static_cast<double>(bench::alloc_count() - a0) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_BufferSelect)->Arg(300)->Arg(1000);
 
 void BM_ArcCacheMixed(benchmark::State& state) {
   cache::ArcCache<int, int> arc(static_cast<std::size_t>(state.range(0)));
   support::Rng rng(11);
+  const auto a0 = bench::alloc_count();
   for (auto _ : state) {
     const int key = static_cast<int>(rng.zipf(1000, 0.8));
     if (!arc.get(key)) arc.put(key, key * 2);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["allocs_per_op"] =
+      static_cast<double>(bench::alloc_count() - a0) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_ArcCacheMixed)->Arg(64)->Arg(256);
 

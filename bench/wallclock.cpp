@@ -5,6 +5,12 @@
 // the parallel outputs are bit-identical to the serial loop, and writes
 // BENCH_wallclock.json so future PRs can compare against this one.
 //
+// When a BENCH_wallclock.json from a previous revision already exists in the
+// working directory, its serial time is read back first and the run prints a
+// speedup-vs-previous summary line, so the committed JSON always carries a
+// before/after pair. Heap allocations over the serial loop are counted
+// (bench/alloc_counter.h) and reported per delivered frame.
+//
 // Usage: wallclock [slot_minutes]
 //   slot_minutes — simulated minutes per slot (default 10; the paper's
 //   slots are 60 — pass 60 for the full-fidelity mix).
@@ -12,7 +18,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <optional>
+#include <sstream>
 
 #include "bench_common.h"
 #include "sim/parallel.h"
@@ -38,6 +47,27 @@ bool identical(const sim::RunOutput& a, const sim::RunOutput& b) {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Serial time recorded by a previous revision's BENCH_wallclock.json in the
+/// working directory, if any. Deliberately naive parsing: the file is our
+/// own output, one "serial_s" key.
+std::optional<double> previous_serial_s(const char* path,
+                                        double slot_minutes) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto value_of = [&text](const char* key) -> std::optional<double> {
+    const auto pos = text.find(key);
+    if (pos == std::string::npos) return std::nullopt;
+    return std::atof(text.c_str() + pos + std::strlen(key));
+  };
+  // Only comparable when the previous run used the same per-slot duration.
+  const auto prev_minutes = value_of("\"slot_minutes\": ");
+  if (!prev_minutes || *prev_minutes != slot_minutes) return std::nullopt;
+  return value_of("\"serial_s\": ");
 }
 
 }  // namespace
@@ -74,6 +104,11 @@ int main(int argc, char** argv) {
               runs.size(), slot_minutes,
               support::ThreadPool::default_workers());
 
+  // Read the previous revision's serial time before we overwrite the file.
+  const auto prev_serial_s =
+      previous_serial_s("BENCH_wallclock.json", slot_minutes);
+
+  const std::uint64_t allocs_before = bench::alloc_count();
   const auto t_serial = std::chrono::steady_clock::now();
   std::vector<sim::RunOutput> serial;
   serial.reserve(runs.size());
@@ -81,9 +116,12 @@ int main(int argc, char** argv) {
     serial.push_back(sim::run_campaign(world, run));
   }
   const double serial_s = seconds_since(t_serial);
+  const std::uint64_t serial_allocs = bench::alloc_count() - allocs_before;
 
   std::uint64_t frames = 0;
   for (const auto& out : serial) frames += out.frames_delivered;
+  const double allocs_per_frame =
+      static_cast<double>(serial_allocs) / static_cast<double>(frames);
   std::printf("%-10s %8.2f s   %10.0f frames/s   speedup 1.00   (baseline)\n",
               "serial", serial_s, static_cast<double>(frames) / serial_s);
 
@@ -101,7 +139,13 @@ int main(int argc, char** argv) {
        << "  \"hardware_threads\": " << support::ThreadPool::default_workers()
        << ",\n"
        << "  \"serial_s\": " << serial_s << ",\n"
-       << "  \"parallel\": [";
+       << "  \"serial_allocs_per_frame\": " << allocs_per_frame << ",\n";
+  if (prev_serial_s) {
+    json << "  \"previous_serial_s\": " << *prev_serial_s << ",\n"
+         << "  \"speedup_vs_previous\": " << *prev_serial_s / serial_s
+         << ",\n";
+  }
+  json << "  \"parallel\": [";
 
   bool all_identical = true;
   bool first = true;
@@ -133,6 +177,14 @@ int main(int argc, char** argv) {
   }
   json << "\n  ]\n}\n";
 
+  std::printf("\nserial heap allocations: %llu (%.4f per delivered frame)\n",
+              static_cast<unsigned long long>(serial_allocs),
+              allocs_per_frame);
+  if (prev_serial_s) {
+    std::printf("speedup vs previous BENCH_wallclock.json: %.2fx "
+                "(serial %.2f s -> %.2f s)\n",
+                *prev_serial_s / serial_s, *prev_serial_s, serial_s);
+  }
   std::printf("\nwritten: BENCH_wallclock.json\n");
   if (!all_identical) {
     std::printf("ERROR: parallel output diverged from the serial loop\n");

@@ -33,9 +33,10 @@ void LegitimateAp::on_frame(const Frame& frame, const medium::RxInfo&) {
       const auto probed = body->ies.ssid();
       // Answer broadcast probes and direct probes for our own SSID.
       if (!body->is_broadcast() && (!probed || *probed != cfg_.ssid)) return;
-      radio_.transmit(dot11::make_probe_response(
-          cfg_.bssid, frame.header.addr2, cfg_.ssid, cfg_.channel, cfg_.open,
-          next_seq()));
+      dot11::make_probe_response_into(tx_frame_, cfg_.bssid,
+                                      frame.header.addr2, cfg_.ssid,
+                                      cfg_.channel, cfg_.open, next_seq());
+      radio_.transmit(tx_frame_);
       return;
     }
     case dot11::MgmtSubtype::kAuthentication: {

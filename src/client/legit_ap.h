@@ -50,6 +50,7 @@ class LegitimateAp : public medium::FrameSink {
   medium::Medium& medium_;
   Config cfg_;
   medium::Radio radio_;
+  dot11::Frame tx_frame_;  // reused probe-response scratch
   bool started_ = false;
   bool stopped_ = false;
   std::unordered_set<dot11::MacAddress> associated_;

@@ -85,11 +85,13 @@ void Smartphone::begin_scan() {
   // devices end the cycle with a broadcast probe.
   if (person_.sends_direct_probes) {
     for (const auto& e : person_.pnl) {
-      radio_.transmit(dot11::make_direct_probe_request(mac_, e.ssid,
-                                                       next_seq()));
+      dot11::make_direct_probe_request_into(tx_frame_, mac_, e.ssid,
+                                            next_seq());
+      radio_.transmit(tx_frame_);
     }
   }
-  radio_.transmit(dot11::make_broadcast_probe_request(mac_, next_seq()));
+  dot11::make_broadcast_probe_request_into(tx_frame_, mac_, next_seq());
+  radio_.transmit(tx_frame_);
 
   // Listen for MinChannelTime + MaxChannelTime, then evaluate.
   scan_end_handle_ = medium_.events().schedule_in(
@@ -153,10 +155,10 @@ void Smartphone::on_frame(const Frame& frame, const medium::RxInfo& info) {
       if (!scanning_) return;
       if (responses_this_scan_ >= cfg_.probe_response_budget) return;
       const auto* body = frame.as<dot11::ProbeResponse>();
-      const auto ssid = body->ies.ssid();
+      const auto ssid = body->ies.ssid_view();  // no temporary string
       if (!ssid) return;
       ++responses_this_scan_;
-      candidates_.push_back(Candidate{*ssid, frame.header.addr3,
+      candidates_.push_back(Candidate{std::string(*ssid), frame.header.addr3,
                                       info.rssi_dbm,
                                       !body->capability.privacy()});
       return;

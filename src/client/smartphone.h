@@ -116,6 +116,7 @@ class Smartphone : public medium::FrameSink {
   support::Rng rng_;
   dot11::MacAddress mac_;
   medium::Radio radio_;
+  dot11::Frame tx_frame_;  // reused probe-request scratch
   Position pos_;
 
   bool started_ = false;

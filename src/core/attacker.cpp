@@ -52,9 +52,9 @@ void Attacker::on_hit(const ClientRecord&, const std::string&, SimTime) {}
 void Attacker::respond_to_direct_probe(ClientRecord& c,
                                        const std::string& ssid) {
   // KARMA's core move: mimic whatever the victim asks for, as an open AP.
-  radio_.transmit(dot11::make_probe_response(cfg_.bssid, c.mac, ssid,
-                                             cfg_.channel, /*open=*/true,
-                                             next_seq()));
+  dot11::make_probe_response_into(tx_frame_, cfg_.bssid, c.mac, ssid,
+                                  cfg_.channel, /*open=*/true, next_seq());
+  radio_.transmit(tx_frame_);
   c.offered[ssid] =
       SsidChoice{ssid, SelectionTag::kDirectReply, SsidSource::kDirectProbe};
 }
@@ -62,9 +62,9 @@ void Attacker::respond_to_direct_probe(ClientRecord& c,
 void Attacker::respond_to_broadcast_probe(ClientRecord& c) {
   const auto choices = select_ssids(c, cfg_.response_budget);
   for (const auto& choice : choices) {
-    radio_.transmit(dot11::make_probe_response(cfg_.bssid, c.mac, choice.ssid,
-                                               cfg_.channel, /*open=*/true,
-                                               next_seq()));
+    dot11::make_probe_response_into(tx_frame_, cfg_.bssid, c.mac, choice.ssid,
+                                    cfg_.channel, /*open=*/true, next_seq());
+    radio_.transmit(tx_frame_);
     if (c.sent.insert(choice.ssid).second) {
       ++c.ssids_sent;
     }

@@ -125,6 +125,9 @@ class Attacker : public medium::FrameSink {
 
   BaseConfig cfg_;
   medium::Radio radio_;
+  /// Reused transmit scratch: the 40-response train rebuilds this frame in
+  /// place instead of reallocating IE storage per response.
+  dot11::Frame tx_frame_;
   bool started_ = false;
   bool stopped_ = false;
   std::map<dot11::MacAddress, ClientRecord> clients_;

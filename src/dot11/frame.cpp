@@ -128,4 +128,67 @@ Frame make_deauth(const MacAddress& src, const MacAddress& dst,
   return Frame{{dst, src, bssid, seq}, body};
 }
 
+namespace {
+
+/// Re-point the body variant at alternative T without discarding the existing
+/// object's IE storage when the alternative already matches.
+template <typename T>
+T& reuse_body(FrameBody& body) {
+  if (auto* p = std::get_if<T>(&body)) return *p;
+  return body.emplace<T>();
+}
+
+}  // namespace
+
+void make_broadcast_probe_request_into(Frame& out, const MacAddress& client,
+                                       std::uint16_t seq) {
+  out.header = {MacAddress::broadcast(), client, MacAddress::broadcast(), seq};
+  auto& body = reuse_body<ProbeRequest>(out.body);
+  body.ies.clear();
+  body.ies.add_ssid("");  // wildcard SSID
+  body.ies.add_supported_rates();
+}
+
+void make_direct_probe_request_into(Frame& out, const MacAddress& client,
+                                    std::string_view ssid, std::uint16_t seq) {
+  out.header = {MacAddress::broadcast(), client, MacAddress::broadcast(), seq};
+  auto& body = reuse_body<ProbeRequest>(out.body);
+  body.ies.clear();
+  body.ies.add_ssid(ssid);
+  body.ies.add_supported_rates();
+}
+
+void make_probe_response_into(Frame& out, const MacAddress& bssid,
+                              const MacAddress& client, std::string_view ssid,
+                              std::uint8_t channel, bool open,
+                              std::uint16_t seq) {
+  out.header = {client, bssid, bssid, seq};
+  auto& body = reuse_body<ProbeResponse>(out.body);
+  body.timestamp_us = 0;
+  body.beacon_interval_tu = 100;
+  body.capability = CapabilityInfo{};
+  body.capability.set_privacy(!open);
+  body.ies.clear();
+  body.ies.add_ssid(ssid);
+  body.ies.add_supported_rates();
+  body.ies.add_ds_param(channel);
+  if (!open) body.ies.add_rsn_wpa2_psk();
+}
+
+void make_beacon_into(Frame& out, const MacAddress& bssid,
+                      std::string_view ssid, std::uint8_t channel, bool open,
+                      std::uint64_t timestamp_us, std::uint16_t seq) {
+  out.header = {MacAddress::broadcast(), bssid, bssid, seq};
+  auto& body = reuse_body<Beacon>(out.body);
+  body.timestamp_us = timestamp_us;
+  body.beacon_interval_tu = 100;
+  body.capability = CapabilityInfo{};
+  body.capability.set_privacy(!open);
+  body.ies.clear();
+  body.ies.add_ssid(ssid);
+  body.ies.add_supported_rates();
+  body.ies.add_ds_param(channel);
+  if (!open) body.ies.add_rsn_wpa2_psk();
+}
+
 }  // namespace cityhunter::dot11

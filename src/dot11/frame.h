@@ -210,4 +210,28 @@ Frame make_deauth(const MacAddress& src, const MacAddress& dst,
                   const MacAddress& bssid, ReasonCode reason,
                   std::uint16_t seq = 0);
 
+/// --- Hot-path builder variants ---
+///
+/// These rebuild the frame in `out`, reusing its IE backing storage when the
+/// body subtype matches the previous use of the slot. The result is equal to
+/// the corresponding make_*() return value; the caller keeps ownership of
+/// `out` across transmits so per-frame heap traffic drops to zero at steady
+/// state (e.g. the attacker's burst of probe responses).
+
+void make_broadcast_probe_request_into(Frame& out, const MacAddress& client,
+                                       std::uint16_t seq = 0);
+
+void make_direct_probe_request_into(Frame& out, const MacAddress& client,
+                                    std::string_view ssid,
+                                    std::uint16_t seq = 0);
+
+void make_probe_response_into(Frame& out, const MacAddress& bssid,
+                              const MacAddress& client, std::string_view ssid,
+                              std::uint8_t channel, bool open,
+                              std::uint16_t seq = 0);
+
+void make_beacon_into(Frame& out, const MacAddress& bssid,
+                      std::string_view ssid, std::uint8_t channel, bool open,
+                      std::uint64_t timestamp_us, std::uint16_t seq = 0);
+
 }  // namespace cityhunter::dot11

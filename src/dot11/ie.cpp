@@ -5,33 +5,40 @@
 
 namespace cityhunter::dot11 {
 
-void IeList::add(ElementId id, std::vector<std::uint8_t> body) {
-  if (body.size() > 255) {
+std::size_t IeList::append_header(ElementId id, std::size_t len) {
+  if (len > 255) {
     throw std::length_error("InformationElement body exceeds 255 octets");
   }
-  elems_.push_back({id, std::move(body)});
+  entries_.push_back({id, static_cast<std::uint32_t>(buf_.size() + 2),
+                      static_cast<std::uint8_t>(len)});
+  buf_.push_back(static_cast<std::uint8_t>(id));
+  buf_.push_back(static_cast<std::uint8_t>(len));
+  return buf_.size();
+}
+
+void IeList::add(ElementId id, std::span<const std::uint8_t> body) {
+  append_header(id, body.size());
+  buf_.insert(buf_.end(), body.begin(), body.end());
 }
 
 void IeList::add_ssid(std::string_view ssid) {
   if (ssid.size() > 32) {
     throw std::length_error("SSID exceeds 32 octets");
   }
-  std::vector<std::uint8_t> body(ssid.begin(), ssid.end());
-  add(ElementId::kSsid, std::move(body));
+  append_header(ElementId::kSsid, ssid.size());
+  buf_.insert(buf_.end(), ssid.begin(), ssid.end());
 }
 
 void IeList::add_supported_rates(std::span<const double> rates_mbps) {
   static constexpr double kDefault[] = {1, 2, 5.5, 11, 6, 9, 12, 18};
   std::span<const double> rates =
       rates_mbps.empty() ? std::span<const double>(kDefault) : rates_mbps;
-  std::vector<std::uint8_t> body;
-  body.reserve(rates.size());
+  append_header(ElementId::kSupportedRates, rates.size());
   for (const double r : rates) {
     // Units of 500 kb/s, basic-rate flag (MSB) set.
     const auto units = static_cast<std::uint8_t>(std::lround(r * 2.0));
-    body.push_back(static_cast<std::uint8_t>(units | 0x80));
+    buf_.push_back(static_cast<std::uint8_t>(units | 0x80));
   }
-  add(ElementId::kSupportedRates, std::move(body));
 }
 
 void IeList::add_ds_param(std::uint8_t channel) {
@@ -41,7 +48,7 @@ void IeList::add_ds_param(std::uint8_t channel) {
 void IeList::add_rsn_wpa2_psk() {
   // RSN version 1, group cipher CCMP, one pairwise cipher CCMP, one AKM PSK,
   // RSN capabilities 0. OUI 00-0F-AC is the IEEE 802.11 cipher-suite OUI.
-  const std::vector<std::uint8_t> body = {
+  static constexpr std::uint8_t kBody[] = {
       0x01, 0x00,                    // version 1
       0x00, 0x0F, 0xAC, 0x04,        // group cipher: CCMP-128
       0x01, 0x00,                    // pairwise count 1
@@ -50,58 +57,65 @@ void IeList::add_rsn_wpa2_psk() {
       0x00, 0x0F, 0xAC, 0x02,        // AKM: PSK
       0x00, 0x00,                    // RSN capabilities
   };
-  add(ElementId::kRsn, body);
+  add(ElementId::kRsn, std::span<const std::uint8_t>(kBody));
 }
 
-const InformationElement* IeList::find(ElementId id) const {
-  for (const auto& e : elems_) {
-    if (e.id == id) return &e;
+IeView IeList::view(std::size_t i) const {
+  const Entry& e = entries_[i];
+  return {e.id, std::span<const std::uint8_t>(buf_.data() + e.offset, e.len)};
+}
+
+std::optional<IeView> IeList::find(ElementId id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) {
+      return IeView{
+          e.id, std::span<const std::uint8_t>(buf_.data() + e.offset, e.len)};
+    }
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 std::optional<std::string> IeList::ssid() const {
-  const auto* e = find(ElementId::kSsid);
+  const auto v = ssid_view();
+  if (!v) return std::nullopt;
+  return std::string(*v);
+}
+
+std::optional<std::string_view> IeList::ssid_view() const {
+  const auto e = find(ElementId::kSsid);
   if (!e) return std::nullopt;
-  return std::string(e->body.begin(), e->body.end());
+  return std::string_view(reinterpret_cast<const char*>(e->body.data()),
+                          e->body.size());
 }
 
 std::optional<std::uint8_t> IeList::channel() const {
-  const auto* e = find(ElementId::kDsParameterSet);
+  const auto e = find(ElementId::kDsParameterSet);
   if (!e || e->body.size() != 1) return std::nullopt;
   return e->body[0];
 }
 
-bool IeList::has_rsn() const { return find(ElementId::kRsn) != nullptr; }
+bool IeList::has_rsn() const { return find(ElementId::kRsn).has_value(); }
 
-std::size_t IeList::wire_size() const {
-  std::size_t n = 0;
-  for (const auto& e : elems_) n += 2 + e.body.size();
-  return n;
-}
-
-void IeList::serialize_to(std::vector<std::uint8_t>& out) const {
-  for (const auto& e : elems_) {
-    out.push_back(static_cast<std::uint8_t>(e.id));
-    out.push_back(static_cast<std::uint8_t>(e.body.size()));
-    out.insert(out.end(), e.body.begin(), e.body.end());
+bool IeList::assign_wire(std::span<const std::uint8_t> data) {
+  buf_.clear();
+  entries_.clear();
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (i + 2 > data.size()) return false;  // truncated header
+    const auto id = static_cast<ElementId>(data[i]);
+    const std::uint8_t len = data[i + 1];
+    if (i + 2 + len > data.size()) return false;  // truncated body
+    entries_.push_back(
+        {id, static_cast<std::uint32_t>(i + 2), len});
+    i += 2 + len;
   }
+  buf_.assign(data.begin(), data.end());
+  return true;
 }
 
 std::optional<IeList> IeList::parse(std::span<const std::uint8_t> data) {
   IeList list;
-  std::size_t i = 0;
-  while (i < data.size()) {
-    if (i + 2 > data.size()) return std::nullopt;  // truncated header
-    const auto id = static_cast<ElementId>(data[i]);
-    const std::size_t len = data[i + 1];
-    i += 2;
-    if (i + len > data.size()) return std::nullopt;  // truncated body
-    list.elems_.push_back(
-        {id, std::vector<std::uint8_t>(data.begin() + static_cast<long>(i),
-                                       data.begin() + static_cast<long>(i + len))});
-    i += len;
-  }
+  if (!list.assign_wire(data)) return std::nullopt;
   return list;
 }
 

@@ -2,6 +2,14 @@
 // frame bodies. We implement the elements the attack traffic actually uses
 // (SSID, supported rates, DS parameter set, RSN) plus a generic container so
 // unknown elements round-trip through parse/serialize untouched.
+//
+// Storage is a single contiguous backing buffer holding the exact wire TLV
+// bytes (id, length, body per element) plus a flat (id, offset, len) entry
+// table — one allocation per list instead of one per element body, and the
+// buffer doubles as the serialized form: serialize_to() is a single append,
+// wire_size() is the buffer length, and assign_wire() re-parses into the
+// same storage without reallocating. This is what keeps the medium's
+// transmit→parse hot path allocation-free at steady state.
 #pragma once
 
 #include <cstdint>
@@ -27,12 +35,11 @@ enum class ElementId : std::uint8_t {
   kVendorSpecific = 221,
 };
 
-/// One raw TLV element. Body length is limited to 255 by the wire format.
-struct InformationElement {
+/// Borrowed view of one element inside an IeList. Valid until the list is
+/// mutated or destroyed.
+struct IeView {
   ElementId id{};
-  std::vector<std::uint8_t> body;
-
-  bool operator==(const InformationElement&) const = default;
+  std::span<const std::uint8_t> body;
 };
 
 /// An ordered list of elements, as they appear in a frame body.
@@ -41,7 +48,20 @@ class IeList {
   IeList() = default;
 
   /// Append a raw element. Throws std::length_error if body > 255 octets.
-  void add(ElementId id, std::vector<std::uint8_t> body);
+  void add(ElementId id, std::span<const std::uint8_t> body);
+  /// Overloads so brace-lists and rvalue vectors keep working at call sites.
+  void add(ElementId id, const std::vector<std::uint8_t>& body) {
+    add(id, std::span<const std::uint8_t>(body));
+  }
+  void add(ElementId id, std::initializer_list<std::uint8_t> body) {
+    add(id, std::span<const std::uint8_t>(body.begin(), body.size()));
+  }
+
+  /// Drop every element but keep the backing storage for reuse.
+  void clear() {
+    buf_.clear();
+    entries_.clear();
+  }
 
   /// --- Typed constructors for the elements the simulator uses ---
 
@@ -61,15 +81,22 @@ class IeList {
 
   /// --- Accessors ---
 
-  const std::vector<InformationElement>& elements() const { return elems_; }
-  std::size_t size() const { return elems_.size(); }
-  bool empty() const { return elems_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
 
-  const InformationElement* find(ElementId id) const;
+  /// Element at position `i` (insertion order), i < size().
+  IeView view(std::size_t i) const;
+
+  /// First element with the given id, if present.
+  std::optional<IeView> find(ElementId id) const;
 
   /// SSID decoded from the SSID element, if present. The empty string means
   /// a wildcard SSID.
   std::optional<std::string> ssid() const;
+
+  /// Non-allocating SSID accessor for hot paths: a view into the backing
+  /// buffer, valid until the list is mutated.
+  std::optional<std::string_view> ssid_view() const;
 
   std::optional<std::uint8_t> channel() const;
 
@@ -79,18 +106,41 @@ class IeList {
   /// --- Wire format ---
 
   /// Serialized octet length.
-  std::size_t wire_size() const;
+  std::size_t wire_size() const { return buf_.size(); }
 
-  void serialize_to(std::vector<std::uint8_t>& out) const;
+  /// The serialized TLV bytes (this IS the storage — no copy).
+  std::span<const std::uint8_t> wire() const { return buf_; }
+
+  void serialize_to(std::vector<std::uint8_t>& out) const {
+    out.insert(out.end(), buf_.begin(), buf_.end());
+  }
 
   /// Parse elements until the span is exhausted. Returns nullopt on a
   /// truncated element.
   static std::optional<IeList> parse(std::span<const std::uint8_t> data);
 
-  bool operator==(const IeList&) const = default;
+  /// In-place variant of parse(): validates and copies `data` into this
+  /// list's backing storage, reusing capacity. Returns false (contents
+  /// unspecified) on a truncated element.
+  bool assign_wire(std::span<const std::uint8_t> data);
+
+  /// Two lists are equal iff their wire forms are: the entry table is a
+  /// pure index over buf_.
+  bool operator==(const IeList& other) const { return buf_ == other.buf_; }
 
  private:
-  std::vector<InformationElement> elems_;
+  struct Entry {
+    ElementId id{};
+    std::uint32_t offset = 0;  // of the body, within buf_
+    std::uint8_t len = 0;
+  };
+
+  /// Append the TLV header for `len` body octets and return the write
+  /// position for the body.
+  std::size_t append_header(ElementId id, std::size_t len);
+
+  std::vector<std::uint8_t> buf_;  // exact wire TLV bytes, in order
+  std::vector<Entry> entries_;
 };
 
 }  // namespace cityhunter::dot11

@@ -148,87 +148,76 @@ void serialize_body(std::vector<std::uint8_t>& out, const FrameBody& body) {
   std::visit(Visitor{out}, body);
 }
 
-std::optional<FrameBody> parse_body(MgmtSubtype subtype, Reader& r) {
+/// Re-point `body` at alternative T, reusing the existing object (and its IE
+/// backing storage) when the variant already holds one.
+template <typename T>
+T& body_slot(FrameBody& body) {
+  if (auto* p = std::get_if<T>(&body)) return *p;
+  return body.emplace<T>();
+}
+
+bool parse_body_into(MgmtSubtype subtype, Reader& r, FrameBody& body) {
   switch (subtype) {
     case MgmtSubtype::kBeacon: {
-      Beacon b;
+      auto& b = body_slot<Beacon>(body);
       b.timestamp_us = r.u64();
       b.beacon_interval_tu = r.u16();
       b.capability.bits = r.u16();
-      if (!r.ok()) return std::nullopt;
-      auto ies = IeList::parse(r.rest());
-      if (!ies) return std::nullopt;
-      b.ies = std::move(*ies);
-      return b;
+      if (!r.ok()) return false;
+      return b.ies.assign_wire(r.rest());
     }
     case MgmtSubtype::kProbeRequest: {
-      ProbeRequest b;
-      auto ies = IeList::parse(r.rest());
-      if (!ies) return std::nullopt;
-      b.ies = std::move(*ies);
-      return b;
+      auto& b = body_slot<ProbeRequest>(body);
+      return b.ies.assign_wire(r.rest());
     }
     case MgmtSubtype::kProbeResponse: {
-      ProbeResponse b;
+      auto& b = body_slot<ProbeResponse>(body);
       b.timestamp_us = r.u64();
       b.beacon_interval_tu = r.u16();
       b.capability.bits = r.u16();
-      if (!r.ok()) return std::nullopt;
-      auto ies = IeList::parse(r.rest());
-      if (!ies) return std::nullopt;
-      b.ies = std::move(*ies);
-      return b;
+      if (!r.ok()) return false;
+      return b.ies.assign_wire(r.rest());
     }
     case MgmtSubtype::kAuthentication: {
-      Authentication b;
+      auto& b = body_slot<Authentication>(body);
       b.algorithm = static_cast<AuthAlgorithm>(r.u16());
       b.sequence = r.u16();
       b.status = static_cast<StatusCode>(r.u16());
-      if (!r.ok()) return std::nullopt;
-      return b;
+      return r.ok();
     }
     case MgmtSubtype::kAssociationRequest: {
-      AssociationRequest b;
+      auto& b = body_slot<AssociationRequest>(body);
       b.capability.bits = r.u16();
       b.listen_interval = r.u16();
-      if (!r.ok()) return std::nullopt;
-      auto ies = IeList::parse(r.rest());
-      if (!ies) return std::nullopt;
-      b.ies = std::move(*ies);
-      return b;
+      if (!r.ok()) return false;
+      return b.ies.assign_wire(r.rest());
     }
     case MgmtSubtype::kAssociationResponse: {
-      AssociationResponse b;
+      auto& b = body_slot<AssociationResponse>(body);
       b.capability.bits = r.u16();
       b.status = static_cast<StatusCode>(r.u16());
       b.association_id = r.u16();
-      if (!r.ok()) return std::nullopt;
-      auto ies = IeList::parse(r.rest());
-      if (!ies) return std::nullopt;
-      b.ies = std::move(*ies);
-      return b;
+      if (!r.ok()) return false;
+      return b.ies.assign_wire(r.rest());
     }
     case MgmtSubtype::kDeauthentication: {
-      Deauthentication b;
+      auto& b = body_slot<Deauthentication>(body);
       b.reason = static_cast<ReasonCode>(r.u16());
-      if (!r.ok()) return std::nullopt;
-      return b;
+      return r.ok();
     }
     case MgmtSubtype::kDisassociation: {
-      Disassociation b;
+      auto& b = body_slot<Disassociation>(body);
       b.reason = static_cast<ReasonCode>(r.u16());
-      if (!r.ok()) return std::nullopt;
-      return b;
+      return r.ok();
     }
   }
-  return std::nullopt;
+  return false;
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize(const Frame& frame) {
-  std::vector<std::uint8_t> out;
-  out.reserve(wire_size(frame));
+std::size_t serialize_into(const Frame& frame, std::vector<std::uint8_t>& out) {
+  out.clear();
   // Frame control: version 0 (bits 0-1), type 0 = mgmt (bits 2-3),
   // subtype (bits 4-7). Flags octet zero.
   const std::uint16_t fc = static_cast<std::uint16_t>(
@@ -242,6 +231,13 @@ std::vector<std::uint8_t> serialize(const Frame& frame) {
   put_u16(out, static_cast<std::uint16_t>(frame.header.sequence << 4));
   serialize_body(out, frame.body);
   put_u32(out, crc32(out));
+  return out.size();
+}
+
+std::vector<std::uint8_t> serialize(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size(frame));
+  serialize_into(frame, out);
   return out;
 }
 
@@ -249,8 +245,8 @@ std::size_t wire_size(const Frame& frame) {
   return kMacHeaderSize + body_wire_size(frame.body) + kFcsSize;
 }
 
-std::optional<Frame> parse(std::span<const std::uint8_t> data) {
-  if (data.size() < kMacHeaderSize + kFcsSize) return std::nullopt;
+bool parse_into(std::span<const std::uint8_t> data, Frame& slot) {
+  if (data.size() < kMacHeaderSize + kFcsSize) return false;
   // Verify FCS first, as hardware does.
   const std::size_t payload_len = data.size() - kFcsSize;
   const std::uint32_t want = crc32(data.first(payload_len));
@@ -258,26 +254,28 @@ std::optional<Frame> parse(std::span<const std::uint8_t> data) {
   for (int i = 3; i >= 0; --i) {
     got = (got << 8) | data[payload_len + static_cast<std::size_t>(i)];
   }
-  if (want != got) return std::nullopt;
+  if (want != got) return false;
 
   Reader r(data.first(payload_len));
   const std::uint16_t fc = r.u16();
   const auto version = fc & 0x3;
   const auto type = (fc >> 2) & 0x3;
-  if (version != 0 || type != 0) return std::nullopt;  // not mgmt
+  if (version != 0 || type != 0) return false;  // not mgmt
   const auto subtype = static_cast<MgmtSubtype>((fc >> 4) & 0xf);
 
-  Frame f;
-  f.header.duration = r.u16();
-  f.header.addr1 = r.mac();
-  f.header.addr2 = r.mac();
-  f.header.addr3 = r.mac();
-  f.header.sequence = static_cast<std::uint16_t>(r.u16() >> 4);
-  if (!r.ok()) return std::nullopt;
+  slot.header.duration = r.u16();
+  slot.header.addr1 = r.mac();
+  slot.header.addr2 = r.mac();
+  slot.header.addr3 = r.mac();
+  slot.header.sequence = static_cast<std::uint16_t>(r.u16() >> 4);
+  if (!r.ok()) return false;
 
-  auto body = parse_body(subtype, r);
-  if (!body) return std::nullopt;
-  f.body = std::move(*body);
+  return parse_body_into(subtype, r, slot.body);
+}
+
+std::optional<Frame> parse(std::span<const std::uint8_t> data) {
+  std::optional<Frame> f(std::in_place);
+  if (!parse_into(data, *f)) return std::nullopt;
   return f;
 }
 

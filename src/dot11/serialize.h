@@ -18,12 +18,25 @@ namespace cityhunter::dot11 {
 /// Serialize `frame` including the trailing 4-octet FCS.
 std::vector<std::uint8_t> serialize(const Frame& frame);
 
+/// Hot-path variant: serialize into a caller-owned scratch buffer (cleared
+/// first, capacity reused across calls). Returns the wire size, so airtime
+/// can be derived from the one serialization instead of a second tree walk
+/// through wire_size(). Output bytes are identical to serialize().
+std::size_t serialize_into(const Frame& frame, std::vector<std::uint8_t>& out);
+
 /// Serialized length in octets (including FCS) without materialising the
-/// buffer — used by the medium to compute airtime.
+/// buffer.
 std::size_t wire_size(const Frame& frame);
 
 /// Parse a full frame. Returns nullopt on: truncation, bad FCS, non-mgmt
 /// type, or an unsupported subtype.
 std::optional<Frame> parse(std::span<const std::uint8_t> data);
+
+/// Hot-path variant: decode into a reusable frame slot. When `slot` already
+/// holds the same body subtype, its IE backing storage is reused — no heap
+/// allocation at steady state. Returns false on the same rejects as parse()
+/// (slot contents are unspecified then). Accepted frames compare equal to
+/// what parse() would have produced.
+bool parse_into(std::span<const std::uint8_t> data, Frame& slot);
 
 }  // namespace cityhunter::dot11

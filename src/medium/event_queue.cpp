@@ -1,10 +1,11 @@
 #include "medium/event_queue.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace cityhunter::medium {
 
-EventHandle EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
+void EventQueue::push(SimTime t, Callback fn, std::shared_ptr<bool> alive) {
   if (t < now_) {
     // Spell out both times: retry/backoff scheduling bugs show up as
     // near-miss negative delays, and "in the past" alone is undebuggable.
@@ -12,13 +13,32 @@ EventHandle EventQueue::schedule_at(SimTime t, std::function<void()> fn) {
         "EventQueue: scheduling in the past (now=" + now_.str() +
         ", requested=" + t.str() + ")");
   }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot].fn = std::move(fn);
+    slab_[slot].alive = std::move(alive);
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(Event{std::move(fn), std::move(alive)});
+  }
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::post_at(SimTime t, Callback fn) {
+  push(t, std::move(fn), nullptr);
+}
+
+EventHandle EventQueue::schedule_at(SimTime t, Callback fn) {
   auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{t, next_seq_++, std::move(fn), alive});
+  push(t, std::move(fn), alive);
   return EventHandle(std::move(alive));
 }
 
 void EventQueue::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!heap_.empty() && heap_.front().time <= until) {
     step();
   }
   now_ = until;
@@ -30,14 +50,46 @@ void EventQueue::run_all() {
 }
 
 bool EventQueue::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top is const; move out via const_cast on the handle —
-  // safe because we pop immediately.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
-  if (*ev.alive) ev.fn();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  now_ = top.time;
+  // Move the callable out of the slab and release the slot BEFORE invoking:
+  // the callback may schedule new events, which can grow the slab and
+  // invalidate references into it.
+  Event& ev = slab_[top.slot];
+  Callback fn = std::move(ev.fn);
+  const bool fire = !ev.alive || *ev.alive;
+  ev.alive.reset();
+  free_slots_.push_back(top.slot);
+  if (fire) fn();
   return true;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t best = left;
+    if (right < n && earlier(heap_[right], heap_[left])) best = right;
+    if (!earlier(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 }  // namespace cityhunter::medium

@@ -2,15 +2,22 @@
 //
 // A single-threaded priority queue of (time, sequence, closure). Sequence
 // numbers make same-time events FIFO, which keeps runs deterministic.
+//
+// Hot-path layout: the fat part of an event (its callable, plus the optional
+// cancel flag) lives in a slab recycled through a free list, and the binary
+// heap orders 24-byte {time, seq, slot} entries — so heap sifts move three
+// words, never the callable. Callables are SmallFn (inline storage sized for
+// the medium's transmit closure), and the cancel flag is only allocated by
+// schedule_at/schedule_in, which hand back an EventHandle; fire-and-forget
+// callers use post_at/post_in and pay for neither.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "support/sim_time.h"
+#include "support/small_fn.h"
 
 namespace cityhunter::medium {
 
@@ -35,13 +42,27 @@ class EventHandle {
 
 class EventQueue {
  public:
+  /// Inline capacity fits the medium's finish-transmission closure (two
+  /// pointers) with room to spare for multi-capture client callbacks.
+  using Callback = support::SmallFn<48>;
+
   SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (must be >= now).
-  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+  /// Fire-and-forget: schedule `fn` at absolute time `t` (must be >= now).
+  /// No cancel flag is allocated — use this on hot paths.
+  void post_at(SimTime t, Callback fn);
 
-  /// Schedule `fn` after `delay` from now.
-  EventHandle schedule_in(SimTime delay, std::function<void()> fn) {
+  /// Fire-and-forget `fn` after `delay` from now.
+  void post_in(SimTime delay, Callback fn) {
+    post_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now) and return a
+  /// cancellation handle (allocates the shared cancel flag).
+  EventHandle schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` after `delay` from now, with a cancellation handle.
+  EventHandle schedule_in(SimTime delay, Callback fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -55,25 +76,36 @@ class EventQueue {
   /// Execute at most one event; returns false if the queue is empty.
   bool step();
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
  private:
+  /// Slab-resident part of an event. `alive` is null for post_* events.
   struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    Callback fn;
     std::shared_ptr<bool> alive;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// Heap-resident part: ordering key plus the slab slot index.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
+
+  /// True when `a` fires before `b`.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void push(SimTime t, Callback fn, std::shared_ptr<bool> alive);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  // binary min-heap by (time, seq)
 };
 
 }  // namespace cityhunter::medium

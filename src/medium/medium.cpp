@@ -29,13 +29,25 @@ Medium::Medium(EventQueue& events, Config cfg)
 Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
                      FrameSink* sink) {
   const RadioId id = next_id_++;
-  RadioState st;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = RadioState{};
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  RadioState& st = slots_[slot];
   st.pos = pos;
   st.channel = channel;
   st.tx_power_dbm = tx_power_dbm;
   st.sink = sink;
   st.tx_busy_until = events_.now();
-  auto [it, inserted] = radios_.emplace(id, std::move(st));
+  if (id >= slot_by_id_.size()) slot_by_id_.resize(id + 1, kNoSlot);
+  slot_by_id_[id] = slot;
+  active_ids_.push_back(id);  // ids increase monotonically: stays sorted
+  ++topology_epoch_;
   if (cfg_.spatial_grid) {
     if (tx_power_dbm > max_tx_power_dbm_) {
       max_tx_power_dbm_ = tx_power_dbm;
@@ -44,34 +56,39 @@ Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
         return Radio(this, id);
       }
     }
-    grid_insert(id, it->second);
+    grid_insert(id, st);
   }
   return Radio(this, id);
 }
 
 void Medium::detach(Radio& radio) {
-  auto it = radios_.find(radio.id_);
-  if (it != radios_.end()) {
-    grid_erase(it->second, radio.id_);
-    radios_.erase(it);
+  const std::uint32_t slot = slot_of(radio.id_);
+  if (slot != kNoSlot) {
+    grid_erase(slots_[slot], radio.id_);
+    slot_by_id_[radio.id_] = kNoSlot;
+    free_slots_.push_back(slot);
+    const auto it = std::lower_bound(active_ids_.begin(), active_ids_.end(),
+                                     radio.id_);
+    if (it != active_ids_.end() && *it == radio.id_) active_ids_.erase(it);
+    ++topology_epoch_;
   }
   radio.medium_ = nullptr;
 }
 
 Medium::RadioState& Medium::state(RadioId id) {
-  auto it = radios_.find(id);
-  if (it == radios_.end()) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
     throw std::logic_error("Medium: use of detached radio");
   }
-  return it->second;
+  return slots_[slot];
 }
 
 const Medium::RadioState& Medium::state(RadioId id) const {
-  auto it = radios_.find(id);
-  if (it == radios_.end()) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
     throw std::logic_error("Medium: use of detached radio");
   }
-  return it->second;
+  return slots_[slot];
 }
 
 std::int64_t Medium::cell_coord(double v) const {
@@ -84,11 +101,12 @@ std::uint64_t Medium::cell_of(Position pos) const {
 
 void Medium::grid_insert(RadioId id, RadioState& st) {
   st.cell = cell_of(st.pos);
+  st.in_grid = true;
   cells_[st.cell].push_back(id);
 }
 
 void Medium::grid_erase(RadioState& st, RadioId id) {
-  if (st.cell == kNoCell) return;
+  if (!st.in_grid) return;
   auto it = cells_.find(st.cell);
   if (it != cells_.end()) {
     auto& ids = it->second;
@@ -100,13 +118,15 @@ void Medium::grid_erase(RadioState& st, RadioId id) {
     }
     if (ids.empty()) cells_.erase(it);
   }
-  st.cell = kNoCell;
+  st.in_grid = false;
 }
 
 void Medium::grid_rebuild() {
   cells_.clear();
   cell_size_ = std::max(1.0, propagation_.max_range(max_tx_power_dbm_));
-  for (auto& [id, st] : radios_) grid_insert(id, st);
+  for (const RadioId id : active_ids_) {
+    grid_insert(id, slots_[slot_by_id_[id]]);
+  }
 }
 
 void Medium::set_position(RadioId id, Position pos) {
@@ -114,7 +134,7 @@ void Medium::set_position(RadioId id, Position pos) {
   st.pos = pos;
   if (!cfg_.spatial_grid) return;
   const std::uint64_t key = cell_of(pos);
-  if (key == st.cell) return;
+  if (st.in_grid && key == st.cell) return;
   grid_erase(st, id);
   grid_insert(id, st);
 }
@@ -129,19 +149,39 @@ void Medium::set_tx_power(RadioId id, double dbm) {
   }
 }
 
+Medium::Transmission& Medium::acquire_txn() {
+  if (free_txns_.empty()) {
+    all_txns_.push_back(std::make_unique<Transmission>());
+    free_txns_.push_back(all_txns_.back().get());
+  }
+  Transmission* t = free_txns_.back();
+  free_txns_.pop_back();
+  return *t;
+}
+
 void Medium::transmit(RadioId from, const dot11::Frame& frame) {
   auto& st = state(from);
-  const std::size_t bytes = dot11::wire_size(frame);
-  const SimTime air =
-      dot11::airtime(bytes, cfg_.mgmt_rate_mbps) * cfg_.contention_factor;
-  SimTime occupancy = air;
   ++transmissions_;
+
+  Transmission& t = acquire_txn();
+  t.from = from;
+  t.epoch = st.queue_epoch;
+  t.tx_pos = st.pos;
+  t.tx_dbm = st.tx_power_dbm;
+  t.channel = st.channel;
+  t.erased = false;
+  t.frame_ok = false;
+  t.fault_rng.reset();
 
   // Round-trip through the wire format once, at transmit time: every
   // receiver shares the parsed result instead of deliver() re-parsing the
   // byte vector per transmission. Receivers still only ever see what
-  // survives serialization.
-  std::vector<std::uint8_t> wire = dot11::serialize(frame);
+  // survives serialization. The one serialization also yields the wire
+  // size, so airtime needs no second walk over the frame tree.
+  const std::size_t bytes = dot11::serialize_into(frame, t.wire);
+  const SimTime air =
+      dot11::airtime(bytes, cfg_.mgmt_rate_mbps) * cfg_.contention_factor;
+  SimTime occupancy = air;
 
   // Fault injection. The stream is a pure function of (seed, radio, frame
   // sequence), so the draws below cannot be perturbed by anything else in
@@ -153,15 +193,14 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
   // link layer repairs loss by spending the 40-response scan budget.
   // Broadcasts are unacknowledged and get exactly one attempt, eating the
   // full per-receiver loss in deliver().
-  std::optional<support::Rng> fault_rng;
-  bool erased = false;
   if (fault_.enabled()) {
-    fault_rng = fault_.stream(from, st.tx_seq++);
+    t.fault_rng = fault_.stream(from, st.tx_seq++);
+    support::Rng& rng = *t.fault_rng;
     const bool unicast = !frame.header.addr1.is_multicast();
     // Per attempt: collision at the receiver, then a corruption burst.
     // Both are drawn every attempt so the stream layout is fixed.
-    bool collided = unicast && fault_rng->chance(fault_.config().ambient_loss);
-    bool corrupted = fault_rng->chance(fault_.config().corruption_rate);
+    bool collided = unicast && rng.chance(fault_.config().ambient_loss);
+    bool corrupted = rng.chance(fault_.config().corruption_rate);
     int attempt = 0;
     while ((collided || corrupted) && unicast &&
            attempt < fault_.config().retry_limit) {
@@ -169,61 +208,73 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
       ++st.tx_retries;
       ++retries_;
       occupancy +=
-          fault_.backoff(attempt, *fault_rng) * cfg_.contention_factor + air;
-      collided = fault_rng->chance(fault_.config().ambient_loss);
-      corrupted = fault_rng->chance(fault_.config().corruption_rate);
+          fault_.backoff(attempt, rng) * cfg_.contention_factor + air;
+      collided = rng.chance(fault_.config().ambient_loss);
+      corrupted = rng.chance(fault_.config().corruption_rate);
     }
     if (collided) {
       // Retry budget exhausted on a collision: the frame never reached its
       // receiver at all.
-      erased = true;
+      t.erased = true;
       ++frames_lost_;
     } else if (corrupted) {
       // Retry budget exhausted on a burst (or a corrupted broadcast): the
       // delivered bytes carry real bit damage and every receiver's FCS
       // check will reject them.
       ++frames_corrupted_;
-      fault_.corrupt(wire, *fault_rng);
+      fault_.corrupt(t.wire, rng);
     }
   }
+
+  // Decode into the transmission's own frame slot (reusing IE storage from
+  // the slot's previous use). Skipped when the frame was erased — it will
+  // never be delivered.
+  if (!t.erased) t.frame_ok = dot11::parse_into(t.wire, t.frame);
 
   const SimTime start = std::max(events_.now(), st.tx_busy_until);
   const SimTime done = start + occupancy;
   st.tx_busy_until = done;
   ++st.tx_backlog;
 
-  // Capture everything by value: the sender may move or detach before the
-  // frame lands. Queue epoch lets clear_tx_queue() abort in-flight sends.
-  auto wire_frame = std::make_shared<const std::optional<dot11::Frame>>(
-      dot11::parse(wire));
-  const std::uint64_t epoch = st.queue_epoch;
-  const Position tx_pos = st.pos;
-  const double tx_dbm = st.tx_power_dbm;
-  const std::uint8_t channel = st.channel;
-  events_.schedule_at(done, [this, from, epoch, erased,
-                             wire_frame = std::move(wire_frame), channel,
-                             tx_pos, tx_dbm,
-                             fault_rng = std::move(fault_rng)]() mutable {
-    auto it = radios_.find(from);
-    if (it != radios_.end()) {
-      if (it->second.queue_epoch != epoch) return;  // queue was cleared
-      --it->second.tx_backlog;
-      ++it->second.frames_sent;
-    }
-    if (erased) return;  // collided away after the full retry budget
-    if (!wire_frame->has_value()) return;  // corrupted on the wire — a real
-                                           // receiver drops bad-FCS frames
-                                           // silently
-    deliver(from, **wire_frame, channel, tx_pos, tx_dbm,
-            fault_rng ? &*fault_rng : nullptr);
+  // Everything the delivery needs lives in the pooled transmission, so the
+  // closure is two pointers — inline in the event queue's SmallFn, no heap.
+  events_.post_at(done, [this, txn = &t] {
+    finish_transmission(*txn);
+    free_txns_.push_back(txn);
   });
+}
+
+void Medium::finish_transmission(Transmission& t) {
+  const std::uint32_t slot = slot_of(t.from);
+  if (slot != kNoSlot) {
+    RadioState& st = slots_[slot];
+    if (st.queue_epoch != t.epoch) return;  // queue was cleared
+    --st.tx_backlog;
+    ++st.frames_sent;
+  }
+  if (t.erased) return;  // collided away after the full retry budget
+  if (!t.frame_ok) return;  // corrupted on the wire — a real receiver drops
+                            // bad-FCS frames silently
+  deliver(t.from, t.frame, t.channel, t.tx_pos, t.tx_dbm,
+          t.fault_rng ? &*t.fault_rng : nullptr);
 }
 
 void Medium::deliver(RadioId from, const dot11::Frame& frame,
                      std::uint8_t channel, Position tx_pos,
                      double tx_power_dbm, support::Rng* fault_rng) {
-  // Snapshot receiver ids first: a sink callback may attach/detach radios.
-  std::vector<RadioId> targets;
+  // Snapshot receiver candidates first: a sink callback may attach/detach
+  // radios. The member scratch vector is reused across calls; reentrant
+  // delivery (a sink pumping the event queue) falls back to a local.
+  std::vector<Candidate> local;
+  std::vector<Candidate>& targets =
+      deliver_depth_ == 0 ? deliver_scratch_ : local;
+  targets.clear();
+  ++deliver_depth_;
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  } guard{deliver_depth_};
+
   if (cfg_.spatial_grid && !cells_.empty()) {
     // Probe only the cells overlapping the transmission's own range box.
     const double r = propagation_.max_range(tx_power_dbm);
@@ -236,28 +287,40 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
         const auto cell = cells_.find(cell_key(cx, cy));
         if (cell == cells_.end()) continue;
         for (const RadioId id : cell->second) {
-          const auto& st = radios_.find(id)->second;
+          const std::uint32_t slot = slot_by_id_[id];
+          const RadioState& st = slots_[slot];
           if (id == from || st.channel != channel || st.sink == nullptr) {
             continue;
           }
-          targets.push_back(id);
+          targets.push_back({id, slot});
         }
       }
     }
     // Buckets come back in hash order; sort so the fanout matches the
     // legacy id-ordered scan bit for bit.
-    std::sort(targets.begin(), targets.end());
+    std::sort(targets.begin(), targets.end(),
+              [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
   } else {
-    targets.reserve(radios_.size());
-    for (const auto& [id, st] : radios_) {
+    targets.reserve(active_ids_.size());
+    for (const RadioId id : active_ids_) {
+      const std::uint32_t slot = slot_by_id_[id];
+      const RadioState& st = slots_[slot];
       if (id == from || st.channel != channel || st.sink == nullptr) continue;
-      targets.push_back(id);
+      targets.push_back({id, slot});
     }
   }
-  for (const RadioId id : targets) {
-    auto it = radios_.find(id);
-    if (it == radios_.end()) continue;  // detached by an earlier callback
-    auto& st = it->second;
+
+  // Candidate slots stay valid until the topology changes; only after a
+  // sink callback attaches or detaches a radio do we pay the id lookup
+  // again (a detached candidate is skipped, as before).
+  const std::uint64_t epoch = topology_epoch_;
+  for (const Candidate& c : targets) {
+    std::uint32_t slot = c.slot;
+    if (topology_epoch_ != epoch) {
+      slot = slot_of(c.id);
+      if (slot == kNoSlot) continue;  // detached by an earlier callback
+    }
+    auto& st = slots_[slot];
     const double d = distance(tx_pos, st.pos);
     if (!propagation_.deliverable(tx_power_dbm, d)) continue;
     const double rx_dbm = propagation_.rx_power_dbm(tx_power_dbm, d);

@@ -12,10 +12,17 @@
 // is maintained incrementally on attach/detach/set_position; candidates are
 // sorted by radio id before fanout, so delivery order (and therefore every
 // simulation result) is bit-identical to the legacy full scan.
+//
+// Hot-path storage: radio state lives in a dense slab indexed through a
+// per-id slot table (ids are never reused, so the id-sorted fanout order —
+// and with it the fault-stream draw order — is unaffected by slot
+// recycling), and each in-flight transmission borrows a pooled object that
+// owns the wire buffer, the decoded frame every receiver shares, and the
+// fault RNG. At steady state a transmit→deliver round trip performs no heap
+// allocation.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -81,8 +88,9 @@ class Medium {
  private:
   friend class Radio;
 
-  /// Grid cell marker for "not in any cell" (grid disabled or detached).
-  static constexpr std::uint64_t kNoCell = ~std::uint64_t{0};
+  /// Slot-table marker for "no slot": the radio id was detached (or never
+  /// existed).
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
   struct RadioState {
     Position pos;
@@ -97,19 +105,55 @@ class Medium {
     std::uint64_t tx_seq = 0;       // fault-stream key, one per transmit()
     std::uint64_t tx_retries = 0;   // 802.11 retransmissions by this radio
     std::uint64_t rx_lost = 0;      // frames erased on the way to this radio
-    std::uint64_t cell = kNoCell;   // current grid cell key
+    std::uint64_t cell = 0;         // current grid cell key (valid iff in_grid)
+    // Explicit membership flag: every 64-bit key is a legal cell (the cell
+    // at (-1,-1) packs to all ones), so no in-band sentinel exists.
+    bool in_grid = false;
   };
+
+  /// An in-flight transmission. Pooled: the wire buffer, the decoded frame
+  /// every receiver shares, and the fault RNG keep their storage across
+  /// transmissions, and the delivery closure captures only {this, txn}.
+  struct Transmission {
+    RadioId from = 0;
+    std::uint64_t epoch = 0;       // sender's queue_epoch at transmit time
+    Position tx_pos;
+    double tx_dbm = 0.0;
+    std::uint8_t channel = 1;
+    bool erased = false;           // collided away after the retry budget
+    bool frame_ok = false;         // wire bytes decoded (FCS intact)
+    std::vector<std::uint8_t> wire;
+    dot11::Frame frame;            // valid iff frame_ok
+    std::optional<support::Rng> fault_rng;
+  };
+
+  /// A fanout candidate: id for identity (stable forever), slot for O(1)
+  /// state access while the topology is unchanged.
+  struct Candidate {
+    RadioId id = 0;
+    std::uint32_t slot = kNoSlot;
+  };
+
+  /// Slot for `id`, kNoSlot when detached/unknown. O(1).
+  std::uint32_t slot_of(RadioId id) const {
+    return id < slot_by_id_.size() ? slot_by_id_[id] : kNoSlot;
+  }
 
   RadioState& state(RadioId id);
   const RadioState& state(RadioId id) const;
 
   void transmit(RadioId from, const dot11::Frame& frame);
+  /// Completion of a scheduled transmission: backlog/epoch bookkeeping, then
+  /// delivery fanout (unless the frame was erased or failed its FCS).
+  void finish_transmission(Transmission& t);
   /// `fault_rng` is the transmission's dedicated fault stream (nullptr when
   /// fault injection is off); per-receiver erasure draws consume from it in
   /// the sorted fanout order, so delivery stays deterministic.
   void deliver(RadioId from, const dot11::Frame& frame, std::uint8_t channel,
                Position tx_pos, double tx_power_dbm,
                support::Rng* fault_rng = nullptr);
+
+  Transmission& acquire_txn();
 
   /// Radio moved: update its grid cell membership in O(cell occupancy).
   void set_position(RadioId id, Position pos);
@@ -134,7 +178,27 @@ class Medium {
   LogDistancePathLoss propagation_;
   FaultModel fault_;
   RadioId next_id_ = 1;
-  std::map<RadioId, RadioState> radios_;  // ordered for deterministic fanout
+
+  // Flat radio table. slot_by_id_ grows monotonically with next_id_ (4
+  // bytes per id ever issued); slots are recycled through free_slots_.
+  // active_ids_ stays sorted — ids only ever increase, so attach appends.
+  std::vector<RadioState> slots_;
+  std::vector<std::uint32_t> slot_by_id_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<RadioId> active_ids_;
+  /// Bumped on attach/detach; lets deliver() trust cached candidate slots
+  /// until the topology actually changes under a sink callback.
+  std::uint64_t topology_epoch_ = 0;
+
+  // Transmission pool. all_txns_ owns; free_txns_ holds the idle ones.
+  std::vector<std::unique_ptr<Transmission>> all_txns_;
+  std::vector<Transmission*> free_txns_;
+
+  // deliver() fanout scratch, reused across calls (depth-guarded: reentrant
+  // delivery falls back to a local vector).
+  std::vector<Candidate> deliver_scratch_;
+  int deliver_depth_ = 0;
+
   double cell_size_ = 0.0;
   double max_tx_power_dbm_ = -1e300;
   std::unordered_map<std::uint64_t, std::vector<RadioId>> cells_;

@@ -222,7 +222,7 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   if (cfg.sample_every) {
     const auto interval = *cfg.sample_every;
     for (SimTime t = interval; t <= cfg.duration; t += interval) {
-      events.schedule_at(t, [&out, &events, a = attacker.get()] {
+      events.post_at(t, [&out, &events, a = attacker.get()] {
         std::size_t connected_broadcast = 0;
         for (const auto& [mac, c] : a->clients()) {
           if (!c.direct_prober && c.connected) ++connected_broadcast;

@@ -149,8 +149,8 @@ TEST(IeList, SupportedRatesEncoding) {
   IeList ies;
   const double rates[] = {1.0, 5.5, 11.0};
   ies.add_supported_rates(rates);
-  const auto* e = ies.find(ElementId::kSupportedRates);
-  ASSERT_NE(e, nullptr);
+  const auto e = ies.find(ElementId::kSupportedRates);
+  ASSERT_TRUE(e.has_value());
   ASSERT_EQ(e->body.size(), 3u);
   EXPECT_EQ(e->body[0], 0x80 | 2);   // 1 Mb/s
   EXPECT_EQ(e->body[1], 0x80 | 11);  // 5.5 Mb/s
@@ -289,6 +289,93 @@ TEST_P(FrameRoundTrip, EveryTruncationIsRejected) {
     EXPECT_NO_THROW(parsed = parse(std::span(bytes.data(), len))) << len;
     EXPECT_FALSE(parsed.has_value()) << "len=" << len;
   }
+}
+
+// --- Allocation-free codec variants: equivalence with the legacy API ---
+// serialize_into / parse_into are the hot-path entry points (reused caller
+// buffers, reused Frame slot). They must be bit- and value-identical to
+// serialize() / parse() for every frame kind, including when the output
+// slot still holds a previous — different — frame.
+
+TEST_P(FrameRoundTrip, SerializeIntoMatchesLegacy) {
+  const auto frame = sample_frame(GetParam());
+  const auto legacy = serialize(frame);
+
+  std::vector<std::uint8_t> scratch;
+  // Poison the scratch with a larger previous frame: serialize_into must
+  // fully replace the contents, not append or leave a stale tail.
+  scratch.assign(legacy.size() + 64, 0xEE);
+  const std::size_t n = serialize_into(frame, scratch);
+  EXPECT_EQ(n, scratch.size());
+  EXPECT_EQ(n, wire_size(frame));
+  EXPECT_EQ(scratch, legacy);
+
+  // Second pass into the same warm buffer stays identical.
+  EXPECT_EQ(serialize_into(frame, scratch), legacy.size());
+  EXPECT_EQ(scratch, legacy);
+}
+
+TEST_P(FrameRoundTrip, ParseIntoMatchesLegacy) {
+  const auto frame = sample_frame(GetParam());
+  const auto bytes = serialize(frame);
+  const auto legacy = parse(bytes);
+  ASSERT_TRUE(legacy.has_value());
+
+  Frame slot;
+  ASSERT_TRUE(parse_into(bytes, slot));
+  EXPECT_EQ(slot, *legacy);
+  EXPECT_EQ(slot, frame);
+
+  // Corrupted input must report failure through the same slot without
+  // throwing (the slot's value is unspecified afterwards).
+  auto bad = bytes;
+  bad[bytes.size() / 2] ^= 0x10;
+  EXPECT_FALSE(parse_into(bad, slot));
+}
+
+TEST(Serialize, ParseIntoReusesSlotAcrossSubtypes) {
+  // Cycle one Frame slot through every frame kind twice, in an order that
+  // forces subtype switches (variant re-emplace) and subtype repeats (IE
+  // storage reuse). Every decode must equal the legacy parse.
+  Frame slot;
+  std::vector<std::uint8_t> scratch;
+  const int order[] = {0, 1, 1, 4, 2, 3, 2, 9, 10, 5, 6, 7, 8, 0, 4, 4};
+  for (const int kind : order) {
+    const auto frame = sample_frame(kind);
+    serialize_into(frame, scratch);
+    ASSERT_TRUE(parse_into(scratch, slot)) << "kind=" << kind;
+    EXPECT_EQ(slot, frame) << "kind=" << kind;
+    EXPECT_EQ(serialize(slot), scratch) << "kind=" << kind;
+  }
+}
+
+TEST(Frame, BuilderIntoVariantsMatchLegacyBuilders) {
+  Rng rng(60);
+  const auto client = MacAddress::random_local(rng);
+  const auto bssid = MacAddress::random_local(rng);
+
+  Frame out;
+  // Seed the slot with an unrelated frame so every field and IE must be
+  // overwritten, not merely appended.
+  out = make_beacon(bssid, "stale-ssid", 11, false, 123456, 99);
+
+  make_broadcast_probe_request_into(out, client, 5);
+  EXPECT_EQ(out, make_broadcast_probe_request(client, 5));
+
+  make_direct_probe_request_into(out, client, "HomeNet", 6);
+  EXPECT_EQ(out, make_direct_probe_request(client, "HomeNet", 6));
+
+  make_probe_response_into(out, bssid, client, "Cafe", 6, true, 7);
+  EXPECT_EQ(out, make_probe_response(bssid, client, "Cafe", 6, true, 7));
+
+  // open=false adds an RSN IE; rebuilding as open again must drop it.
+  make_probe_response_into(out, bssid, client, "Sec", 11, false, 8);
+  EXPECT_EQ(out, make_probe_response(bssid, client, "Sec", 11, false, 8));
+  make_probe_response_into(out, bssid, client, "Cafe", 6, true, 9);
+  EXPECT_EQ(out, make_probe_response(bssid, client, "Cafe", 6, true, 9));
+
+  make_beacon_into(out, bssid, "Beacon-Net", 1, true, 424242, 10);
+  EXPECT_EQ(out, make_beacon(bssid, "Beacon-Net", 1, true, 424242, 10));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFrameKinds, FrameRoundTrip,

@@ -1,0 +1,88 @@
+// Hot-path allocation budget smoke test (ctest label: perf).
+//
+// Counts global operator new calls (bench/alloc_counter.h, enabled via
+// CITYHUNTER_COUNT_ALLOCS on this target only) across a steady-state
+// transmit→schedule→deliver→parse loop and fails if the per-frame
+// allocation budget is exceeded. This is the enforcement half of the
+// pooled-codec / inline-event / flat-radio-table overhaul: a regression
+// that reintroduces a std::function heap capture, a per-transmit wire
+// buffer, or per-parse IE storage shows up here as a hard failure, not a
+// gradual wallclock slide.
+#include "alloc_counter.h"  // must precede any allocation in this TU
+
+#include <gtest/gtest.h>
+
+#include "dot11/frame.h"
+#include "medium/event_queue.h"
+#include "medium/medium.h"
+
+namespace cityhunter {
+namespace {
+
+class CountingSink : public medium::FrameSink {
+ public:
+  void on_frame(const dot11::Frame& frame, const medium::RxInfo&) override {
+    ++frames;
+    last_subtype = frame.subtype();
+  }
+  std::uint64_t frames = 0;
+  dot11::MgmtSubtype last_subtype{};
+};
+
+// Steady state after warm-up: one full transmit→deliver round trip per
+// frame must average at most kBudgetPerFrame heap allocations (the design
+// target is zero on the fault-off path; the budget leaves headroom for
+// incidental growth such as a heap/backlog vector doubling mid-run).
+constexpr std::uint64_t kBudgetPerFrame = 1;
+
+TEST(PerfSmokeTest, SteadyStateTransmitStaysWithinAllocationBudget) {
+  medium::EventQueue events;
+  medium::Medium med(events);
+
+  CountingSink rx;
+  auto ap = med.attach({0, 0}, 6, 20.0);
+  auto phone = med.attach({25, 0}, 6, 15.0, &rx);
+  (void)phone;
+
+  const dot11::MacAddress bssid({0x02, 0xaa, 0, 0, 0, 1});
+  const dot11::MacAddress client({0x02, 0xbb, 0, 0, 0, 2});
+
+  dot11::Frame scratch;
+  std::uint16_t seq = 0;
+  const auto send_one = [&] {
+    dot11::make_probe_response_into(scratch, bssid, client, "golden-cafe", 6,
+                                    /*open=*/true, seq = (seq + 1) & 0x0fff);
+    ap.transmit(scratch);
+    events.run_all();
+  };
+
+  // Warm up: first frames populate the transmission pool, event slab, IE
+  // backing buffers and deliver scratch.
+  for (int i = 0; i < 256; ++i) send_one();
+  const std::uint64_t frames_before = rx.frames;
+
+  constexpr std::uint64_t kFrames = 1000;
+  const std::uint64_t allocs_before = bench::alloc_count();
+  for (std::uint64_t i = 0; i < kFrames; ++i) send_one();
+  const std::uint64_t allocs = bench::alloc_count() - allocs_before;
+
+  EXPECT_EQ(rx.frames - frames_before, kFrames)
+      << "every measured frame must actually be delivered";
+  EXPECT_EQ(rx.last_subtype, dot11::MgmtSubtype::kProbeResponse);
+  EXPECT_LE(allocs, kFrames * kBudgetPerFrame)
+      << "steady-state hot path exceeded the per-frame allocation budget: "
+      << allocs << " allocations for " << kFrames << " frames";
+}
+
+TEST(PerfSmokeTest, CounterIsLive) {
+  // Guard against the counter silently compiling out (e.g. the macro not
+  // reaching this target): an explicit heap allocation must register.
+  const std::uint64_t before = bench::alloc_count();
+  auto* p = new std::uint64_t(42);
+  const std::uint64_t after = bench::alloc_count();
+  delete p;
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace cityhunter
