@@ -73,6 +73,8 @@ int main() {
       runs.push_back(std::move(run));
     }
     const auto outputs = sim::run_campaigns(world, runs);
+    bench::report_failed_runs(outputs);
+    bench::report_channel(outputs);
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       const auto& out = outputs[i];
       t.add_row({vs[i].name, support::TextTable::pct(out.result.h_b()),

@@ -56,6 +56,7 @@ int main() {
 
     const auto outputs = sim::run_campaigns(world, runs);
     bench::report_failed_runs(outputs);
+    bench::report_channel(outputs);
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       t.add_row({names[i], support::TextTable::pct(outputs[i].result.h()),
                  support::TextTable::pct(outputs[i].result.h_b())});

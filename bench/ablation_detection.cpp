@@ -90,6 +90,7 @@ int main() {
     events.run_until(support::SimTime::minutes(30));
 
     const auto result = stats::analyze(*attacker, sim::to_string(kind));
+    bench::report_channel(stats::medium_stats(medium));
     const auto detect_time = detector.first_detection(base.bssid);
     t.add_row({sim::to_string(kind), support::TextTable::pct(result.h_b()),
                detect_time ? "yes" : "no",

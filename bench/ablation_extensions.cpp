@@ -31,6 +31,8 @@ int main() {
       runs.push_back(std::move(run));
     }
     const auto outputs = sim::run_campaigns(world, runs);
+    bench::report_failed_runs(outputs);
+    bench::report_channel(outputs);
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       const auto& out = outputs[i];
       t.add_row({i == 1 ? "with deauth" : "without deauth",
@@ -61,6 +63,8 @@ int main() {
       runs.push_back(std::move(run));
     }
     const auto outputs = sim::run_campaigns(world, runs);
+    bench::report_failed_runs(outputs);
+    bench::report_channel(outputs);
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       const auto& out = outputs[i];
       t.add_row({i == 1 ? "with carrier seed" : "without carrier seed",

@@ -47,8 +47,11 @@ int main() {
     }
   }
 
+  bench::apply_obs_env(runs);
   const auto outputs = sim::run_campaigns(world, runs);
   bench::report_failed_runs(outputs);
+  bench::report_channel(outputs);
+  bench::write_trace_if_requested(outputs);
 
   support::TextTable t({"ambient PER", "KARMA h_b", "MANA h_b",
                         "City-Hunter h_b", "CH loss rate", "CH retries"});

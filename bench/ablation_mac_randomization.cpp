@@ -65,6 +65,7 @@ int main() {
       if (phone->connected_to_attacker()) ++real_connected;
     }
     const auto perceived = stats::analyze(hunter, "x");
+    bench::report_channel(stats::medium_stats(medium));
 
     t.add_row({support::TextTable::pct(fraction, 0),
                std::to_string(perceived.total_clients),

@@ -52,6 +52,8 @@ int main() {
                                  400 + static_cast<std::uint64_t>(slot)));
   }
   const auto colds = sim::run_campaigns(world, cold_runs);
+  bench::report_failed_runs(colds);
+  bench::report_channel(colds);
   std::optional<core::SsidDatabase> carry;
   for (int slot = 0; slot < 4; ++slot) {
     const auto& cold = colds[static_cast<std::size_t>(slot)];

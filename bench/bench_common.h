@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 // bench/CMakeLists.txt for which targets enable it).
 #include "alloc_counter.h"
 
+#include "obs/trace.h"
 #include "sim/parallel.h"
 #include "sim/scenario.h"
 #include "stats/report.h"
@@ -52,6 +55,89 @@ inline std::size_t report_failed_runs(
   std::printf("  !! %zu of %zu runs failed; results below are partial\n",
               failed, outputs.size());
   return failed;
+}
+
+/// Sum the channel-side counters across a campaign's runs.
+inline stats::MediumStats aggregate_medium_stats(
+    const std::vector<sim::RunOutput>& outputs) {
+  stats::MediumStats agg;
+  for (const auto& out : outputs) {
+    agg.transmissions += out.medium_stats.transmissions;
+    agg.deliveries += out.medium_stats.deliveries;
+    agg.frames_lost += out.medium_stats.frames_lost;
+    agg.frames_corrupted += out.medium_stats.frames_corrupted;
+    agg.retries += out.medium_stats.retries;
+  }
+  return agg;
+}
+
+/// Print the channel loss line whenever any fault counter is nonzero, so a
+/// lossy configuration is never silently reported as a clean channel.
+inline void report_channel(const stats::MediumStats& m) {
+  if (m.frames_lost == 0 && m.frames_corrupted == 0 && m.retries == 0) return;
+  std::printf("  channel: %s\n", stats::loss_line(m).c_str());
+}
+
+inline void report_channel(const std::vector<sim::RunOutput>& outputs) {
+  report_channel(aggregate_medium_stats(outputs));
+}
+
+inline void report_channel(const sim::RunOutput& output) {
+  report_channel(output.medium_stats);
+}
+
+/// Path from CITYHUNTER_TRACE, or null when tracing was not requested.
+inline const char* trace_env_path() {
+  const char* path = std::getenv("CITYHUNTER_TRACE");
+  return (path != nullptr && *path != '\0') ? path : nullptr;
+}
+
+/// Enable per-run observability on every run config when CITYHUNTER_TRACE
+/// is set. The ring capacity can be tuned with CITYHUNTER_TRACE_CAPACITY
+/// (records per run).
+inline void apply_obs_env(std::vector<sim::RunConfig>& runs) {
+  if (trace_env_path() == nullptr) return;
+  obs::Config cfg;
+  cfg.enabled = true;
+  if (const char* cap = std::getenv("CITYHUNTER_TRACE_CAPACITY")) {
+    const long v = std::atol(cap);
+    if (v > 0) cfg.trace_capacity = static_cast<std::size_t>(v);
+  }
+  for (auto& run : runs) run.obs = cfg;
+}
+
+/// Merge every traced run into one Chrome trace_event file at the
+/// CITYHUNTER_TRACE path. Streams are keyed by input-order run index (the
+/// Chrome pid), so the file is byte-identical at any worker-thread count.
+inline void write_trace_if_requested(
+    const std::vector<sim::RunOutput>& outputs) {
+  const char* path = trace_env_path();
+  if (path == nullptr) return;
+  std::vector<obs::TraceStream> streams;
+  streams.reserve(outputs.size());
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    obs::TraceStream s;
+    s.pid = static_cast<int>(i);
+    s.name = "run-" + std::to_string(i);
+    if (!outputs[i].error.empty()) s.name += " (failed)";
+    s.records = outputs[i].trace;
+    dropped += outputs[i].trace_dropped;
+    streams.push_back(std::move(s));
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  !! CITYHUNTER_TRACE: cannot open %s for writing\n", path);
+    return;
+  }
+  obs::write_chrome_trace(out, streams);
+  std::printf("  trace: %s (%zu runs%s) — open in chrome://tracing or "
+              "ui.perfetto.dev\n",
+              path, streams.size(),
+              dropped > 0
+                  ? (", " + std::to_string(dropped) + " records dropped")
+                        .c_str()
+                  : "");
 }
 
 }  // namespace cityhunter::bench

@@ -21,6 +21,7 @@ int main() {
   run.duration = support::SimTime::minutes(30);
   run.sample_every = support::SimTime::minutes(1);
   const auto out = sim::run_campaign(world, run);
+  bench::report_channel(out);
 
   std::printf("\nFig 1(a): minute | db size | broadcast clients connected\n");
   for (const auto& p : out.series) {

@@ -25,7 +25,11 @@ int main() {
   runs[1].slot.expected_clients = 1450;
   runs[1].duration = support::SimTime::hours(1);
   runs[1].run_seed = 4;
+  bench::apply_obs_env(runs);
   const auto outputs = sim::run_campaigns(world, runs);
+  bench::report_failed_runs(outputs);
+  bench::report_channel(outputs);
+  bench::write_trace_if_requested(outputs);
 
   // (a) canteen, preliminary attacker (the configuration Fig 2a reports).
   {

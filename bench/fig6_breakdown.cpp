@@ -42,8 +42,11 @@ int main() {
       runs.push_back(std::move(run));
     }
   }
+  bench::apply_obs_env(runs);
   const auto outputs = sim::run_campaigns(world, runs);
   bench::report_failed_runs(outputs);
+  bench::report_channel(outputs);
+  bench::write_trace_if_requested(outputs);
 
   int venue_index = 0;
   for (const auto& venue : venues) {

@@ -29,6 +29,7 @@ int main() {
 
   std::printf("%s\n",
               stats::comparison_table({karma.result, mana.result}).c_str());
+  bench::report_channel({karma, mana});
 
   bench::paper_vs_measured("KARMA h", "3.9%",
                            support::TextTable::pct(karma.result.h()));

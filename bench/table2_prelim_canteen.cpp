@@ -30,6 +30,7 @@ int main() {
 
   std::printf("%s\n",
               stats::comparison_table({mana.result, prelim.result}).c_str());
+  bench::report_channel({mana, prelim});
 
   const auto& r = prelim.result;
   const double wigle_share =

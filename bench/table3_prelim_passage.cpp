@@ -24,6 +24,7 @@ int main() {
   out.result.label = "Subway Passage (prelim)";
 
   std::printf("%s\n", stats::comparison_table({out.result}).c_str());
+  bench::report_channel(out);
 
   bench::paper_vs_measured("prelim h in passage", "6.3%",
                            support::TextTable::pct(out.result.h()));

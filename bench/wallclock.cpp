@@ -41,7 +41,8 @@ bool identical(const sim::RunOutput& a, const sim::RunOutput& b) {
          a.db_from_direct == b.db_from_direct &&
          a.deauths_sent == b.deauths_sent &&
          a.frames_transmitted == b.frames_transmitted &&
-         a.frames_delivered == b.frames_delivered;
+         a.frames_delivered == b.frames_delivered &&
+         a.queue_stats == b.queue_stats;
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -125,6 +126,41 @@ int main(int argc, char** argv) {
   std::printf("%-10s %8.2f s   %10.0f frames/s   speedup 1.00   (baseline)\n",
               "serial", serial_s, static_cast<double>(frames) / serial_s);
 
+  // EventQueue lifetime counters aggregated over the mix. Peak pending is
+  // the max across runs (each run owns its queue).
+  medium::EventQueue::Stats queue_agg;
+  for (const auto& out : serial) {
+    queue_agg.scheduled += out.queue_stats.scheduled;
+    queue_agg.processed += out.queue_stats.processed;
+    queue_agg.slab_slots += out.queue_stats.slab_slots;
+    queue_agg.slab_reuses += out.queue_stats.slab_reuses;
+    queue_agg.peak_pending =
+        std::max(queue_agg.peak_pending, out.queue_stats.peak_pending);
+  }
+  std::printf("event queue: %llu events processed, peak pending %llu, "
+              "slab reuse %.1f%% (%llu slots ever allocated)\n",
+              static_cast<unsigned long long>(queue_agg.processed),
+              static_cast<unsigned long long>(queue_agg.peak_pending),
+              100.0 * queue_agg.slab_reuse_ratio(),
+              static_cast<unsigned long long>(queue_agg.slab_slots));
+
+  // Tracing overhead: rerun the same mix serially with the observability
+  // probe enabled and compare wallclock. The results must not change.
+  std::vector<sim::RunConfig> traced_runs = runs;
+  for (auto& run : traced_runs) run.obs.enabled = true;
+  const auto t_traced = std::chrono::steady_clock::now();
+  bool traced_same = true;
+  for (std::size_t i = 0; i < traced_runs.size(); ++i) {
+    const auto out = sim::run_campaign(world, traced_runs[i]);
+    traced_same = traced_same && identical(serial[i], out);
+  }
+  const double traced_s = seconds_since(t_traced);
+  const double trace_overhead_pct = 100.0 * (traced_s - serial_s) / serial_s;
+  std::printf("tracing on: %6.2f s serial (overhead %+.1f%%)   %s\n",
+              traced_s, trace_overhead_pct,
+              traced_same ? "results identical"
+                          : "MISMATCH vs untraced serial");
+
   std::vector<std::size_t> thread_counts = {1, 2,
                                             support::ThreadPool::default_workers()};
   std::sort(thread_counts.begin(), thread_counts.end());
@@ -139,7 +175,13 @@ int main(int argc, char** argv) {
        << "  \"hardware_threads\": " << support::ThreadPool::default_workers()
        << ",\n"
        << "  \"serial_s\": " << serial_s << ",\n"
-       << "  \"serial_allocs_per_frame\": " << allocs_per_frame << ",\n";
+       << "  \"serial_allocs_per_frame\": " << allocs_per_frame << ",\n"
+       << "  \"traced_serial_s\": " << traced_s << ",\n"
+       << "  \"trace_overhead_pct\": " << trace_overhead_pct << ",\n"
+       << "  \"queue_events_processed\": " << queue_agg.processed << ",\n"
+       << "  \"queue_peak_pending\": " << queue_agg.peak_pending << ",\n"
+       << "  \"queue_slab_reuse_ratio\": " << queue_agg.slab_reuse_ratio()
+       << ",\n";
   if (prev_serial_s) {
     json << "  \"previous_serial_s\": " << *prev_serial_s << ",\n"
          << "  \"speedup_vs_previous\": " << *prev_serial_s / serial_s
@@ -151,8 +193,9 @@ int main(int argc, char** argv) {
   bool first = true;
   for (const std::size_t threads : thread_counts) {
     const auto t0 = std::chrono::steady_clock::now();
+    sim::ParallelStats pstats;
     const auto parallel =
-        sim::run_campaigns(world, runs, sim::ParallelConfig{threads});
+        sim::run_campaigns(world, runs, sim::ParallelConfig{threads}, &pstats);
     const double wall_s = seconds_since(t0);
 
     bool same = parallel.size() == serial.size();
@@ -165,13 +208,20 @@ int main(int argc, char** argv) {
     char label[32];
     std::snprintf(label, sizeof(label), "%zu thread%s", threads,
                   threads == 1 ? "" : "s");
-    std::printf("%-10s %8.2f s   %10.0f frames/s   speedup %.2f   %s\n",
+    std::printf("%-10s %8.2f s   %10.0f frames/s   speedup %.2f   "
+                "util %3.0f%%   %s\n",
                 label, wall_s, static_cast<double>(frames) / wall_s, speedup,
+                100.0 * pstats.utilization(),
                 same ? "bit-identical to serial" : "MISMATCH vs serial");
+    for (std::size_t w = 0; w < pstats.loads.size(); ++w) {
+      std::printf("             worker %zu: %zu runs, busy %.2f s\n", w,
+                  pstats.loads[w].runs, pstats.loads[w].busy_s);
+    }
 
     json << (first ? "" : ",") << "\n    {\"threads\": " << threads
          << ", \"wall_s\": " << wall_s << ", \"speedup\": " << speedup
          << ", \"frames_per_s\": " << static_cast<double>(frames) / wall_s
+         << ", \"utilization\": " << pstats.utilization()
          << ", \"identical\": " << (same ? "true" : "false") << "}";
     first = false;
   }
@@ -188,6 +238,10 @@ int main(int argc, char** argv) {
   std::printf("\nwritten: BENCH_wallclock.json\n");
   if (!all_identical) {
     std::printf("ERROR: parallel output diverged from the serial loop\n");
+    return 1;
+  }
+  if (!traced_same) {
+    std::printf("ERROR: tracing changed the simulation results\n");
     return 1;
   }
   return 0;

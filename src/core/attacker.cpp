@@ -1,5 +1,8 @@
 #include "core/attacker.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cityhunter::core {
 
 using dot11::Frame;
@@ -45,6 +48,13 @@ ClientRecord& Attacker::client(const dot11::MacAddress& mac) {
   return it->second;
 }
 
+void Attacker::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    scan_fill_id_ = metrics_->distribution("attacker.scan_window_fill", 1.0);
+  }
+}
+
 void Attacker::handle_direct_probe_ssid(const std::string&, SimTime) {}
 
 void Attacker::on_hit(const ClientRecord&, const std::string&, SimTime) {}
@@ -61,6 +71,16 @@ void Attacker::respond_to_direct_probe(ClientRecord& c,
 
 void Attacker::respond_to_broadcast_probe(ClientRecord& c) {
   const auto choices = select_ssids(c, cfg_.response_budget);
+  ++scan_windows_;
+  responses_sent_ += choices.size();
+  if (trace_ != nullptr) {
+    trace_->record(now(), obs::Category::kAttacker,
+                   obs::Event::kScanWindowFill, choices.size(),
+                   static_cast<std::uint64_t>(cfg_.response_budget));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->observe(scan_fill_id_, static_cast<double>(choices.size()));
+  }
   for (const auto& choice : choices) {
     dot11::make_probe_response_into(tx_frame_, cfg_.bssid, c.mac, choice.ssid,
                                     cfg_.channel, /*open=*/true, next_seq());

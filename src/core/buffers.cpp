@@ -113,9 +113,15 @@ void BufferSelector::notify_hit(SelectionTag tag) {
   const int lo = cfg_.min_buffer_size;
   const int hi = cfg_.budget - cfg_.min_buffer_size;
   if (tag == SelectionTag::kPopularityGhost) {
-    pb_size_ = std::min(hi, pb_size_ + 1);
+    if (pb_size_ < hi) {
+      ++pb_size_;
+      ++pb_grows_;
+    }
   } else if (tag == SelectionTag::kFreshnessGhost) {
-    pb_size_ = std::max(lo, pb_size_ - 1);
+    if (pb_size_ > lo) {
+      --pb_size_;
+      ++pb_shrinks_;
+    }
   }
 }
 

@@ -52,6 +52,11 @@ class BufferSelector {
   int fb_size() const { return cfg_.budget - pb_size_; }
   const BufferSelectorConfig& config() const { return cfg_; }
 
+  /// Lifetime adaptation counters: ghost-attributed hits that actually moved
+  /// the PB/FB split (a hit at a clamp boundary moves nothing).
+  std::uint64_t pb_grows() const { return pb_grows_; }
+  std::uint64_t pb_shrinks() const { return pb_shrinks_; }
+
  private:
   /// Collect up to `want` untried records from `ranked` starting at the
   /// cursor position, skipping entries already in `used`.
@@ -67,6 +72,8 @@ class BufferSelector {
   BufferSelectorConfig cfg_;
   support::Rng rng_;
   int pb_size_;
+  std::uint64_t pb_grows_ = 0;
+  std::uint64_t pb_shrinks_ = 0;
 };
 
 }  // namespace cityhunter::core

@@ -1,5 +1,7 @@
 #include "core/cityhunter.h"
 
+#include "obs/trace.h"
+
 namespace cityhunter::core {
 
 CityHunter::CityHunter(medium::Medium& medium, Config cfg, support::Rng rng)
@@ -20,7 +22,23 @@ void CityHunter::handle_direct_probe_ssid(const std::string& ssid,
 void CityHunter::on_hit(const ClientRecord& client, const std::string& ssid,
                         SimTime now) {
   db_.record_hit(ssid, cfg_.hit_weight_bonus, now);
-  if (client.hit_choice) selector_.notify_hit(client.hit_choice->tag);
+  if (!client.hit_choice) return;
+  const SelectionTag tag = client.hit_choice->tag;
+  const int old_pb = selector_.pb_size();
+  selector_.notify_hit(tag);
+  if (trace_ != nullptr) {
+    if (tag == SelectionTag::kPopularityGhost ||
+        tag == SelectionTag::kFreshnessGhost) {
+      trace_->record(now, obs::Category::kAttacker,
+                     obs::Event::kGhostPromotion,
+                     tag == SelectionTag::kPopularityGhost ? 1 : 2);
+    }
+    if (selector_.pb_size() != old_pb) {
+      trace_->record(now, obs::Category::kAttacker, obs::Event::kPbResize,
+                     static_cast<std::uint64_t>(selector_.pb_size()),
+                     static_cast<std::uint64_t>(selector_.fb_size()));
+    }
+  }
 }
 
 void CityHunter::refresh_views() {

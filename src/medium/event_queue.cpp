@@ -19,12 +19,16 @@ void EventQueue::push(SimTime t, Callback fn, std::shared_ptr<bool> alive) {
     free_slots_.pop_back();
     slab_[slot].fn = std::move(fn);
     slab_[slot].alive = std::move(alive);
+    ++stats_.slab_reuses;
   } else {
     slot = static_cast<std::uint32_t>(slab_.size());
     slab_.push_back(Event{std::move(fn), std::move(alive)});
+    stats_.slab_slots = slab_.size();
   }
   heap_.push_back(HeapEntry{t, next_seq_++, slot});
   sift_up(heap_.size() - 1);
+  ++stats_.scheduled;
+  if (heap_.size() > stats_.peak_pending) stats_.peak_pending = heap_.size();
 }
 
 void EventQueue::post_at(SimTime t, Callback fn) {
@@ -65,6 +69,7 @@ bool EventQueue::step() {
   const bool fire = !ev.alive || *ev.alive;
   ev.alive.reset();
   free_slots_.push_back(top.slot);
+  ++stats_.processed;
   if (fire) fn();
   return true;
 }

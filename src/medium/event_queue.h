@@ -46,6 +46,27 @@ class EventQueue {
   /// pointers) with room to spare for multi-capture client callbacks.
   using Callback = support::SmallFn<48>;
 
+  /// Lifetime counters, maintained unconditionally (plain integer stores —
+  /// no observable cost on the hot path). `scheduled` counts every accepted
+  /// push; `processed` counts executed steps (cancelled events included:
+  /// they still pass through the heap).
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t peak_pending = 0;
+    std::uint64_t slab_slots = 0;   // distinct slab entries ever allocated
+    std::uint64_t slab_reuses = 0;  // pushes served from the free list
+
+    /// Fraction of pushes that recycled an existing slab slot.
+    double slab_reuse_ratio() const {
+      return scheduled ? static_cast<double>(slab_reuses) /
+                             static_cast<double>(scheduled)
+                       : 0.0;
+    }
+
+    bool operator==(const Stats&) const = default;
+  };
+
   SimTime now() const { return now_; }
 
   /// Fire-and-forget: schedule `fn` at absolute time `t` (must be >= now).
@@ -78,6 +99,8 @@ class EventQueue {
 
   std::size_t pending() const { return heap_.size(); }
 
+  const Stats& stats() const { return stats_; }
+
  private:
   /// Slab-resident part of an event. `alive` is null for post_* events.
   struct Event {
@@ -103,6 +126,7 @@ class EventQueue {
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
   std::vector<Event> slab_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  // binary min-heap by (time, seq)

@@ -6,6 +6,7 @@
 
 #include "dot11/serialize.h"
 #include "dot11/timing.h"
+#include "obs/trace.h"
 
 namespace cityhunter::medium {
 
@@ -183,6 +184,11 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
       dot11::airtime(bytes, cfg_.mgmt_rate_mbps) * cfg_.contention_factor;
   SimTime occupancy = air;
 
+  if (trace_ != nullptr) {
+    trace_->record(events_.now(), obs::Category::kMedium,
+                   obs::Event::kTransmit, from, bytes);
+  }
+
   // Fault injection. The stream is a pure function of (seed, radio, frame
   // sequence), so the draws below cannot be perturbed by anything else in
   // the simulation. A failed attempt of a *unicast* management frame — an
@@ -209,14 +215,26 @@ void Medium::transmit(RadioId from, const dot11::Frame& frame) {
       ++retries_;
       occupancy +=
           fault_.backoff(attempt, rng) * cfg_.contention_factor + air;
+      if (trace_ != nullptr) {
+        trace_->record(events_.now(), obs::Category::kFault,
+                       obs::Event::kRetry, from,
+                       static_cast<std::uint64_t>(attempt));
+      }
       collided = rng.chance(fault_.config().ambient_loss);
       corrupted = rng.chance(fault_.config().corruption_rate);
     }
+    if (unicast && (collided || corrupted)) ++drops_.retry_exhausted;
     if (collided) {
       // Retry budget exhausted on a collision: the frame never reached its
       // receiver at all.
       t.erased = true;
       ++frames_lost_;
+      ++drops_.collision;
+      if (trace_ != nullptr) {
+        trace_->record(events_.now(), obs::Category::kFault,
+                       obs::Event::kDropCollision, from,
+                       static_cast<std::uint64_t>(attempt));
+      }
     } else if (corrupted) {
       // Retry budget exhausted on a burst (or a corrupted broadcast): the
       // delivered bytes carry real bit damage and every receiver's FCS
@@ -253,8 +271,15 @@ void Medium::finish_transmission(Transmission& t) {
     ++st.frames_sent;
   }
   if (t.erased) return;  // collided away after the full retry budget
-  if (!t.frame_ok) return;  // corrupted on the wire — a real receiver drops
-                            // bad-FCS frames silently
+  if (!t.frame_ok) {
+    // Corrupted on the wire — a real receiver drops bad-FCS frames silently.
+    ++drops_.crc_reject;
+    if (trace_ != nullptr) {
+      trace_->record(events_.now(), obs::Category::kFault,
+                     obs::Event::kDropCrcReject, t.from, t.wire.size());
+    }
+    return;
+  }
   deliver(t.from, t.frame, t.channel, t.tx_pos, t.tx_dbm,
           t.fault_rng ? &*t.fault_rng : nullptr);
 }
@@ -336,6 +361,11 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
       // receiver order, keeping lossy runs bit-identical.
       ++st.rx_lost;
       ++frames_lost_;
+      ++drops_.erasure;
+      if (trace_ != nullptr) {
+        trace_->record(events_.now(), obs::Category::kFault,
+                       obs::Event::kDropErasure, c.id, from);
+      }
       continue;
     }
     RxInfo info;
@@ -344,6 +374,10 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
     info.channel = channel;
     ++st.frames_received;
     ++deliveries_;
+    if (trace_ != nullptr) {
+      trace_->record(events_.now(), obs::Category::kMedium,
+                     obs::Event::kDeliver, c.id, from);
+    }
     FrameSink* sink = st.sink;
     sink->on_frame(frame, info);
   }

@@ -35,6 +35,10 @@
 #include "medium/propagation.h"
 #include "medium/radio.h"
 
+namespace cityhunter::obs {
+class TraceBuffer;
+}
+
 namespace cityhunter::medium {
 
 class Medium {
@@ -84,6 +88,27 @@ class Medium {
   std::uint64_t frames_lost() const { return frames_lost_; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
   std::uint64_t retries() const { return retries_; }
+
+  /// Why frames died, split by cause. Additive to the aggregate counters
+  /// above (frames_lost == erasure + collision; a crc_reject is one
+  /// frames_corrupted transmission whose bytes every receiver then refused).
+  struct DropCounters {
+    std::uint64_t erasure = 0;      // per-receiver SNR/collision draw in
+                                    // deliver() erased the frame on one link
+    std::uint64_t collision = 0;    // retry budget exhausted on a collision:
+                                    // the frame never left the sender
+    std::uint64_t crc_reject = 0;   // bit damage survived the retries; the
+                                    // FCS check rejected the frame at RX
+    std::uint64_t retry_exhausted = 0;  // unicast attempts that ran the full
+                                        // 802.11 retry budget and still died
+
+    bool operator==(const DropCounters&) const = default;
+  };
+  const DropCounters& drops() const { return drops_; }
+
+  /// Attach (or detach with nullptr) a structured trace sink. Disabled cost
+  /// is one pointer test per hook.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
  private:
   friend class Radio;
@@ -207,6 +232,8 @@ class Medium {
   std::uint64_t frames_lost_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t retries_ = 0;
+  DropCounters drops_;
+  obs::TraceBuffer* trace_ = nullptr;  // null = tracing off
 };
 
 }  // namespace cityhunter::medium

@@ -12,10 +12,20 @@ namespace cityhunter::medium {
 class PcapRecorder : public FrameSink {
  public:
   explicit PcapRecorder(const std::string& path) : writer_(path) {}
+  ~PcapRecorder() override { writer_.flush(); }
 
   void on_frame(const dot11::Frame& frame, const RxInfo& info) override {
     writer_.write(frame, info.time);
   }
+
+  /// Frames serialized so far. After a flush() this equals the record count
+  /// read_pcap() returns for the file, so a trace + pcap pair from the same
+  /// run can be cross-referenced while the run is still in progress.
+  std::size_t frames_written() const { return writer_.frames_written(); }
+
+  /// Pushes buffered records to disk so the file is readable mid-run.
+  /// Also called from the destructor.
+  void flush() { writer_.flush(); }
 
   dot11::PcapWriter& writer() { return writer_; }
 

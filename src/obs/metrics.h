@@ -1,0 +1,160 @@
+// Metrics registry: named counters, gauges, Histogram-backed distributions
+// and RAII scoped wallclock timers, snapshotted per run into RunOutput.
+//
+// Registration (name → Id) happens once at wiring time and may allocate;
+// the per-event operations add()/set() are noexcept array stores so they are
+// safe inside the heap-free frame path. observe() touches the histogram's
+// bucket map and is reserved for cold, per-window call sites.
+//
+// Determinism: counters, gauges and distributions are driven purely by sim
+// events, so their snapshots are bit-identical across thread counts. Timers
+// record wallclock and are inherently noisy — MetricsSnapshot::deterministic()
+// strips them, and that stripped view is what cross-thread equality tests
+// (and RunOutput comparisons) should use.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/histogram.h"
+
+namespace cityhunter::obs {
+
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kDistribution = 2,
+  kTimer = 3,
+};
+
+const char* to_string(MetricKind k);
+
+/// One metric in a snapshot. Field meaning by kind:
+///   kCounter       count = accumulated total, value = count as double
+///   kGauge         count = times set, value = last set, min/max over sets
+///   kDistribution  count = samples, value = mean, min/max over samples
+///   kTimer         count = intervals, value = total seconds, min/max per
+///                  interval (wallclock — excluded from deterministic())
+struct MetricPoint {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  bool operator==(const MetricPoint&) const = default;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;  // sorted by name
+
+  /// The snapshot minus every wallclock (kTimer) point — the view that is
+  /// bit-identical for the same seed at any thread count.
+  MetricsSnapshot deterministic() const;
+
+  const MetricPoint* find(std::string_view name) const;
+
+  /// One "name kind=... count=... value=..." line per point.
+  std::string str() const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::size_t;
+
+  /// Register a point and get its handle. Registering the same (name, kind)
+  /// twice returns the existing Id, so components can wire independently.
+  Id counter(std::string_view name);
+  Id gauge(std::string_view name);
+  Id distribution(std::string_view name, double bucket_width);
+  Id timer(std::string_view name);
+
+  /// Counter increment. Hot-path safe: plain array store, noexcept.
+  void add(Id id, std::uint64_t delta = 1) noexcept {
+    points_[id].total += delta;
+  }
+
+  /// Gauge store. Hot-path safe.
+  void set(Id id, double value) noexcept {
+    Point& p = points_[id];
+    p.last = value;
+    if (p.sets == 0 || value < p.min) p.min = value;
+    if (p.sets == 0 || value > p.max) p.max = value;
+    ++p.sets;
+  }
+
+  /// Distribution sample. May allocate a histogram bucket — cold sites only.
+  void observe(Id id, double value);
+
+  /// Timer interval. Wallclock, cold.
+  void record_seconds(Id id, double seconds);
+
+  std::size_t size() const { return points_.size(); }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Point {
+    std::string name;
+    MetricKind kind;
+    std::uint64_t total = 0;  // kCounter
+    double last = 0.0;        // kGauge
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t sets = 0;                     // kGauge
+    std::optional<support::Histogram> hist;     // kDistribution
+    support::Summary intervals;                 // kTimer
+  };
+
+  Id intern(std::string_view name, MetricKind kind);
+
+  std::vector<Point> points_;
+};
+
+/// Measures wallclock from construction to stop()/destruction and records it
+/// into a timer point. Moveable so phases can hand timers around; a
+/// default-constructed (or null-registry) timer is a no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer() = default;
+  ScopedTimer(MetricsRegistry* registry, MetricsRegistry::Id id)
+      : registry_(registry), id_(id),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(ScopedTimer&& other) noexcept { *this = std::move(other); }
+  ScopedTimer& operator=(ScopedTimer&& other) noexcept {
+    stop();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    start_ = other.start_;
+    other.registry_ = nullptr;
+    return *this;
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Record the elapsed interval now; further stops are no-ops.
+  void stop() {
+    if (registry_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    registry_->record_seconds(
+        id_, std::chrono::duration<double>(end - start_).count());
+    registry_ = nullptr;
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  MetricsRegistry::Id id_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace cityhunter::obs

@@ -1,0 +1,47 @@
+// Per-run observability bundle: one TraceBuffer + one MetricsRegistry,
+// allocated only when enabled. Components receive raw pointers that are null
+// when observability is off, so the disabled cost everywhere is one branch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cityhunter::obs {
+
+struct Config {
+  bool enabled = false;
+  /// Ring capacity per run. When the trace outgrows it, the oldest records
+  /// are overwritten (TraceBuffer::dropped() counts them).
+  std::size_t trace_capacity = 1 << 14;
+
+  bool operator==(const Config&) const = default;
+};
+
+class Probe {
+ public:
+  Probe() = default;
+  explicit Probe(const Config& cfg) {
+    if (!cfg.enabled) return;
+    trace_ = std::make_unique<TraceBuffer>(cfg.trace_capacity);
+    metrics_ = std::make_unique<MetricsRegistry>();
+  }
+
+  bool enabled() const { return metrics_ != nullptr; }
+
+  /// Null when disabled — hand this to components as their branch-on-null
+  /// sink.
+  TraceBuffer* trace() { return trace_.get(); }
+  const TraceBuffer* trace() const { return trace_.get(); }
+
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+
+ private:
+  std::unique_ptr<TraceBuffer> trace_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+}  // namespace cityhunter::obs

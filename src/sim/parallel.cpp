@@ -1,7 +1,11 @@
 #include "sim/parallel.h"
 
+#include <chrono>
 #include <future>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "support/thread_pool.h"
@@ -9,6 +13,30 @@
 namespace cityhunter::sim {
 
 namespace {
+
+/// Accumulates per-OS-thread busy time. Locked once per run (runs last
+/// milliseconds to seconds), so contention is irrelevant.
+class LoadTracker {
+ public:
+  void add(double busy_s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto id = std::this_thread::get_id();
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      it = index_.emplace(id, loads_.size()).first;
+      loads_.emplace_back();
+    }
+    ++loads_[it->second].runs;
+    loads_[it->second].busy_s += busy_s;
+  }
+
+  std::vector<ParallelStats::WorkerLoad> take() { return std::move(loads_); }
+
+ private:
+  std::mutex mu_;
+  std::map<std::thread::id, std::size_t> index_;
+  std::vector<ParallelStats::WorkerLoad> loads_;
+};
 
 std::string describe_failure(const RunConfig& run, const char* what) {
   return "run_seed=" + std::to_string(run.run_seed) +
@@ -19,31 +47,38 @@ std::string describe_failure(const RunConfig& run, const char* what) {
 /// run_campaign with the exception firewall: a throwing run yields a
 /// default RunOutput carrying the failure description instead of
 /// propagating and discarding every other run's result.
-RunOutput run_guarded(const World& world, const RunConfig& run) {
+RunOutput run_guarded(const World& world, const RunConfig& run,
+                      LoadTracker* tracker) {
+  const auto start = std::chrono::steady_clock::now();
+  RunOutput out;
   try {
-    return run_campaign(world, run);
+    out = run_campaign(world, run);
   } catch (const std::exception& e) {
-    RunOutput out;
+    out = RunOutput{};
     out.error = describe_failure(run, e.what());
-    return out;
   } catch (...) {
-    RunOutput out;
+    out = RunOutput{};
     out.error = describe_failure(run, "unknown exception");
-    return out;
   }
+  if (tracker != nullptr) {
+    tracker->add(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+  }
+  return out;
 }
 
 /// Retry each failed run once, each on a fresh thread: a crash caused by a
 /// poisoned pool worker (TLS, FP state) should not condemn the rerun. A run
 /// that fails twice keeps its second error.
 void retry_failed(const World& world, std::span<const RunConfig> runs,
-                  std::vector<RunOutput>& outputs) {
+                  std::vector<RunOutput>& outputs, LoadTracker* tracker) {
   std::vector<std::pair<std::size_t, std::future<RunOutput>>> retries;
   for (std::size_t i = 0; i < outputs.size(); ++i) {
     if (outputs[i].error.empty()) continue;
     retries.emplace_back(
-        i, std::async(std::launch::async, [&world, &run = runs[i]] {
-          return run_guarded(world, run);
+        i, std::async(std::launch::async, [&world, &run = runs[i], tracker] {
+          return run_guarded(world, run, tracker);
         }));
   }
   for (auto& [i, f] : retries) outputs[i] = f.get();
@@ -53,30 +88,49 @@ void retry_failed(const World& world, std::span<const RunConfig> runs,
 
 std::vector<RunOutput> run_campaigns(const World& world,
                                      std::span<const RunConfig> runs,
-                                     ParallelConfig cfg) {
+                                     ParallelConfig cfg,
+                                     ParallelStats* stats) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  LoadTracker tracker_storage;
+  LoadTracker* tracker = stats != nullptr ? &tracker_storage : nullptr;
+  const auto finish = [&](std::size_t workers,
+                          std::vector<RunOutput> outputs) {
+    if (stats != nullptr) {
+      *stats = ParallelStats{};
+      stats->workers = workers;
+      stats->wall_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+      stats->loads = tracker_storage.take();
+    }
+    return outputs;
+  };
+
   std::vector<RunOutput> outputs;
   outputs.reserve(runs.size());
 
   std::size_t workers = cfg.threads;
   if (workers == 0) workers = support::ThreadPool::default_workers();
   if (workers <= 1 || runs.size() <= 1) {
-    for (const auto& run : runs) outputs.push_back(run_guarded(world, run));
-    retry_failed(world, runs, outputs);
-    return outputs;
+    for (const auto& run : runs) {
+      outputs.push_back(run_guarded(world, run, tracker));
+    }
+    retry_failed(world, runs, outputs, tracker);
+    return finish(1, std::move(outputs));
   }
 
   support::ThreadPool pool(workers);
   std::vector<std::future<RunOutput>> futures;
   futures.reserve(runs.size());
   for (const auto& run : runs) {
-    futures.push_back(
-        pool.submit([&world, &run] { return run_guarded(world, run); }));
+    futures.push_back(pool.submit(
+        [&world, &run, tracker] { return run_guarded(world, run, tracker); }));
   }
   // run_guarded never throws, so every future resolves and every healthy
   // run's output is collected regardless of failures elsewhere.
   for (auto& f : futures) outputs.push_back(f.get());
-  retry_failed(world, runs, outputs);
-  return outputs;
+  retry_failed(world, runs, outputs, tracker);
+  return finish(workers, std::move(outputs));
 }
 
 std::size_t failed_runs(const std::vector<RunOutput>& outputs) {

@@ -28,12 +28,42 @@ struct ParallelConfig {
   std::size_t threads = 0;
 };
 
+/// Wallclock profile of one run_campaigns() call. Pure profiling output —
+/// never feeds back into results, which stay bit-identical regardless.
+struct ParallelStats {
+  struct WorkerLoad {
+    std::size_t runs = 0;
+    double busy_s = 0.0;
+  };
+
+  std::size_t workers = 0;  // pool size (1 for the serial path)
+  double wall_s = 0.0;      // whole call, fan-out to last retry joined
+  /// One entry per OS thread that executed at least one run, in first-use
+  /// order (retry threads append).
+  std::vector<WorkerLoad> loads;
+
+  double busy_s() const {
+    double total = 0.0;
+    for (const auto& l : loads) total += l.busy_s;
+    return total;
+  }
+  /// Mean fraction of the pool's wallclock spent inside runs. >1 is
+  /// impossible; ~1 means the pool never idled.
+  double utilization() const {
+    return workers > 0 && wall_s > 0.0
+               ? busy_s() / (wall_s * static_cast<double>(workers))
+               : 0.0;
+  }
+};
+
 /// Run every config in `runs` against the shared immutable `world` and
 /// return the outputs in input order. Never throws for a failing run: see
-/// RunOutput::error.
+/// RunOutput::error. When `stats` is non-null it is overwritten with the
+/// call's wallclock profile.
 std::vector<RunOutput> run_campaigns(const World& world,
                                      std::span<const RunConfig> runs,
-                                     ParallelConfig cfg = {});
+                                     ParallelConfig cfg = {},
+                                     ParallelStats* stats = nullptr);
 
 /// Number of outputs whose run failed (RunOutput::error set).
 std::size_t failed_runs(const std::vector<RunOutput>& outputs);

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 namespace cityhunter::sim {
@@ -105,7 +106,15 @@ std::vector<std::string> World::local_public_ssids(medium::Position pos,
 }
 
 RunOutput run_campaign(const World& world, const RunConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
+  const auto phase_seconds = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  const auto t_setup = Clock::now();
+
   Rng rng(world.config().seed ^ (cfg.run_seed * 0x9e3779b97f4a7c15ULL));
+
+  obs::Probe probe(cfg.obs);
 
   medium::EventQueue events;
   medium::Medium::Config medium_cfg =
@@ -117,6 +126,7 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
     medium_cfg.fault.seed = rng.fork("fault").engine()();
   }
   medium::Medium medium(events, medium_cfg);
+  medium.set_trace(probe.trace());
 
   // Attacker at the local origin of the venue frame.
   core::Attacker::BaseConfig base;
@@ -170,6 +180,8 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
         attacker->database(), {"PCCW1x", "Y5ZONE", "CMCC-AUTO"},
         static_cast<double>(cfg.wigle_seed.popular_count), events.now());
   }
+  attacker->set_trace(probe.trace());
+  attacker->set_metrics(probe.metrics());
   attacker->start();
 
   // Optional §V-B deauth setup: a legitimate venue AP holding pre-associated
@@ -233,7 +245,9 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
     }
   }
 
+  const auto t_sim = Clock::now();
   events.run_until(cfg.duration);
+  const auto t_analysis = Clock::now();
 
   out.result = stats::analyze(*attacker, to_string(cfg.kind));
   out.window_rates =
@@ -250,6 +264,57 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   out.frames_delivered = medium.deliveries();
   out.medium_stats = stats::medium_stats(medium);
   out.database = attacker->database();
+  out.queue_stats = events.stats();
+
+  if (probe.enabled()) {
+    // Compose the deterministic metric series from the counters each layer
+    // kept during the run. The attacker's scan-window distribution was
+    // observed live; everything else is a single store here, so the
+    // snapshot is a pure function of the simulation.
+    obs::MetricsRegistry& m = *probe.metrics();
+    const auto& qs = events.stats();
+    m.add(m.counter("queue.scheduled"), qs.scheduled);
+    m.add(m.counter("queue.processed"), qs.processed);
+    m.add(m.counter("queue.slab_slots"), qs.slab_slots);
+    m.add(m.counter("queue.slab_reuses"), qs.slab_reuses);
+    m.set(m.gauge("queue.peak_pending"),
+          static_cast<double>(qs.peak_pending));
+    m.add(m.counter("medium.transmissions"), medium.transmissions());
+    m.add(m.counter("medium.deliveries"), medium.deliveries());
+    m.add(m.counter("medium.retries"), medium.retries());
+    const auto& drops = medium.drops();
+    m.add(m.counter("fault.drop_erasure"), drops.erasure);
+    m.add(m.counter("fault.drop_collision"), drops.collision);
+    m.add(m.counter("fault.drop_crc_reject"), drops.crc_reject);
+    m.add(m.counter("fault.retry_exhausted"), drops.retry_exhausted);
+    m.add(m.counter("attacker.scan_windows"), attacker->scan_windows());
+    m.add(m.counter("attacker.responses_sent"), attacker->responses_sent());
+    m.add(m.counter("attacker.clients_seen"), attacker->clients_seen());
+    m.add(m.counter("attacker.clients_connected"),
+          attacker->clients_connected());
+    if (hunter != nullptr) {
+      m.add(m.counter("attacker.pb_grows"), hunter->selector().pb_grows());
+      m.add(m.counter("attacker.pb_shrinks"),
+            hunter->selector().pb_shrinks());
+      m.set(m.gauge("attacker.pb_size"),
+            static_cast<double>(hunter->selector().pb_size()));
+      m.set(m.gauge("attacker.fb_size"),
+            static_cast<double>(hunter->selector().fb_size()));
+    }
+    m.add(m.counter("trace.dropped"), probe.trace()->dropped());
+    // Wallclock phases — kTimer points, stripped by deterministic().
+    m.record_seconds(m.timer("phase.setup"), phase_seconds(t_setup, t_sim));
+    m.record_seconds(m.timer("phase.sim"), phase_seconds(t_sim, t_analysis));
+    m.record_seconds(m.timer("phase.analysis"),
+                     phase_seconds(t_analysis, Clock::now()));
+    out.metrics = m.snapshot();
+    out.trace = probe.trace()->chronological();
+    out.trace_dropped = probe.trace()->dropped();
+  }
+
+  out.phases.setup_s = phase_seconds(t_setup, t_sim);
+  out.phases.sim_s = phase_seconds(t_sim, t_analysis);
+  out.phases.analysis_s = phase_seconds(t_analysis, Clock::now());
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include "heatmap/heatmap.h"
 #include "medium/medium.h"
 #include "mobility/population.h"
+#include "obs/probe.h"
 #include "mobility/venue.h"
 #include "stats/campaign.h"
 #include "world/ap_generator.h"
@@ -125,6 +126,10 @@ struct RunConfig {
   /// quantifies what that choice cost). Applied after WiGLE seeding, so
   /// learned SSIDs and hit records survive.
   std::optional<core::SsidDatabase> initial_database;
+
+  /// Observability. Off by default — a disabled probe costs one null test
+  /// per hook and the run's outputs stay byte-identical.
+  obs::Config obs{};
 };
 
 struct SeriesPoint {
@@ -133,6 +138,14 @@ struct SeriesPoint {
   std::size_t broadcast_connected = 0;
 
   bool operator==(const SeriesPoint&) const = default;
+};
+
+/// Wallclock split of one run. Always measured (three steady_clock reads);
+/// never part of any result comparison — wallclock is not deterministic.
+struct PhaseProfile {
+  double setup_s = 0.0;     // world wiring: attacker, venue, population
+  double sim_s = 0.0;       // the event-queue loop
+  double analysis_s = 0.0;  // end-of-run stats extraction
 };
 
 struct RunOutput {
@@ -154,6 +167,17 @@ struct RunOutput {
   /// Snapshot of the attacker's database at the end of the run (for warm
   /// starting the next slot).
   core::SsidDatabase database;
+  /// Event-queue lifetime counters — deterministic, always filled.
+  medium::EventQueue::Stats queue_stats;
+  /// Wallclock phase split — always filled, never compared.
+  PhaseProfile phases;
+  /// Observability harvest, empty unless cfg.obs.enabled: the metrics
+  /// snapshot (compare .deterministic() across thread counts) and the trace
+  /// ring's retained records, oldest first.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceRecord> trace;
+  /// Records the ring had to overwrite (0 when the capacity sufficed).
+  std::uint64_t trace_dropped = 0;
   /// Set by run_campaigns() when this run threw instead of completing:
   /// "run_seed=<seed> venue=<name> attacker=<kind>: <what>". Empty on
   /// success; a failed run's other fields are default-initialised.

@@ -153,5 +153,44 @@ TEST(PcapRecorder, CapturesLiveTraffic) {
   }
 }
 
+// A flush makes the file readable mid-run, and the record count read back
+// matches frames_written() at the moment of the flush — the cross-reference
+// a trace + pcap pair from the same run relies on. The destructor flushes
+// the tail.
+TEST(PcapRecorder, MidRunFlushCrossReference) {
+  TempFile file("midrun.pcap");
+  medium::EventQueue events;
+  medium::Medium medium(events);
+  Rng rng(5);
+  {
+    medium::PcapRecorder recorder(file.path());
+    auto monitor = medium.attach({5, 0}, 6, 0.0, &recorder);
+    auto tx = medium.attach({0, 0}, 6, 20.0);
+    for (int i = 0; i < 5; ++i) {
+      tx.transmit(make_broadcast_probe_request(MacAddress::random_local(rng),
+                                               static_cast<std::uint16_t>(i)));
+    }
+    events.run_until(SimTime::seconds(1));
+    recorder.flush();
+    const auto mid = read_pcap(file.path());
+    ASSERT_TRUE(mid.has_value());
+    EXPECT_EQ(mid->size(), recorder.frames_written());
+    EXPECT_EQ(mid->size(), 5u);
+
+    // Keep recording after the flush; the destructor flushes the rest.
+    for (int i = 5; i < 9; ++i) {
+      tx.transmit(make_broadcast_probe_request(MacAddress::random_local(rng),
+                                               static_cast<std::uint16_t>(i)));
+    }
+    events.run_until(SimTime::seconds(2));
+    EXPECT_EQ(recorder.frames_written(), 9u);
+    medium.detach(monitor);
+    medium.detach(tx);
+  }
+  const auto records = read_pcap(file.path());
+  ASSERT_TRUE(records.has_value());
+  EXPECT_EQ(records->size(), 9u);
+}
+
 }  // namespace
 }  // namespace cityhunter::dot11

@@ -15,6 +15,7 @@
 #include "dot11/frame.h"
 #include "medium/event_queue.h"
 #include "medium/medium.h"
+#include "obs/trace.h"
 
 namespace cityhunter {
 namespace {
@@ -71,6 +72,50 @@ TEST(PerfSmokeTest, SteadyStateTransmitStaysWithinAllocationBudget) {
   EXPECT_EQ(rx.last_subtype, dot11::MgmtSubtype::kProbeResponse);
   EXPECT_LE(allocs, kFrames * kBudgetPerFrame)
       << "steady-state hot path exceeded the per-frame allocation budget: "
+      << allocs << " allocations for " << kFrames << " frames";
+}
+
+// Same loop with structured tracing attached. The trace ring is storage
+// allocated once up front; record() is an array store, so tracing may add at
+// most 1 allocation per 100 frames of incidental slack on top of the normal
+// per-frame budget.
+TEST(PerfSmokeTest, TracingEnabledStaysWithinAllocationCeiling) {
+  medium::EventQueue events;
+  medium::Medium med(events);
+  obs::TraceBuffer trace(4096);  // allocated here, before the measured loop
+  med.set_trace(&trace);
+
+  CountingSink rx;
+  auto ap = med.attach({0, 0}, 6, 20.0);
+  auto phone = med.attach({25, 0}, 6, 15.0, &rx);
+  (void)phone;
+
+  const dot11::MacAddress bssid({0x02, 0xaa, 0, 0, 0, 1});
+  const dot11::MacAddress client({0x02, 0xbb, 0, 0, 0, 2});
+
+  dot11::Frame scratch;
+  std::uint16_t seq = 0;
+  const auto send_one = [&] {
+    dot11::make_probe_response_into(scratch, bssid, client, "golden-cafe", 6,
+                                    /*open=*/true, seq = (seq + 1) & 0x0fff);
+    ap.transmit(scratch);
+    events.run_all();
+  };
+
+  for (int i = 0; i < 256; ++i) send_one();
+  const std::uint64_t frames_before = rx.frames;
+  const std::uint64_t recorded_before = trace.total_recorded();
+
+  constexpr std::uint64_t kFrames = 1000;
+  const std::uint64_t allocs_before = bench::alloc_count();
+  for (std::uint64_t i = 0; i < kFrames; ++i) send_one();
+  const std::uint64_t allocs = bench::alloc_count() - allocs_before;
+
+  EXPECT_EQ(rx.frames - frames_before, kFrames);
+  // Each frame traces at least its transmit + deliver, so tracing was live.
+  EXPECT_GE(trace.total_recorded() - recorded_before, 2 * kFrames);
+  EXPECT_LE(allocs, kFrames * kBudgetPerFrame + kFrames / 100)
+      << "tracing-enabled hot path exceeded the allocation ceiling: "
       << allocs << " allocations for " << kFrames << " frames";
 }
 
