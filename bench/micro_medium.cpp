@@ -1,14 +1,24 @@
 // Micro-benchmarks for the Medium delivery hot path.
 //
-// Compares the spatial-grid receiver culling against the legacy scan over
-// every attached radio, at venue scale: radios are spread over ±600 m while
-// a 20 dBm transmitter reaches only ~60 m, so the grid should cull the vast
-// majority of candidates. A third case moves a radio before each transmit to
-// price the incremental grid maintenance into the win.
+// Compares the delivery pipelines Medium::Config can select, at venue scale:
+// radios are spread over ±600 m while a 20 dBm transmitter reaches only
+// ~60 m, so receiver culling dominates the fanout cost.
+//
+//   Batched      — SoA gather, slot-ordered merge (no per-frame sort),
+//                  squared-distance filter, path-loss LUT + pair cache.
+//   BatchedNoCache — same, pair cache off: prices the cache separately.
+//   Grid         — the pre-PR reference: grid gather + std::sort by id +
+//                  exact hypot/log10 per candidate.
+//   LegacyScan   — no grid at all, full scan over every attached radio.
+//
+// Moving variants displace one radio before each transmit to price the
+// incremental grid maintenance (and pair-cache invalidation) into the win.
 //
 // Each case reports allocs_per_tx next to delivered_per_tx: the pooled
-// transmission objects, inline event storage and flat radio table should
-// hold the static cases at ~0 heap allocations per transmit.
+// transmission objects, inline event storage, flat radio table and reused
+// gather scratch should hold the static cases at ~0 heap allocations per
+// transmit. delivered_per_tx must be identical across all modes at the same
+// radio count — the pipelines are behaviorally interchangeable.
 #include "alloc_counter.h"
 
 #include <benchmark/benchmark.h>
@@ -27,6 +37,31 @@ class CountingSink : public FrameSink {
   std::uint64_t frames = 0;
 };
 
+enum class Mode { kBatched, kBatchedNoCache, kGrid, kLegacyScan };
+
+Medium::Config mode_config(Mode mode) {
+  Medium::Config cfg;
+  switch (mode) {
+    case Mode::kBatched:
+      break;  // defaults: grid + batched fanout + LUT + pair cache
+    case Mode::kBatchedNoCache:
+      cfg.pathloss_cache = false;
+      break;
+    case Mode::kGrid:
+      cfg.batched_fanout = false;
+      cfg.pathloss_lut = false;
+      cfg.pathloss_cache = false;
+      break;
+    case Mode::kLegacyScan:
+      cfg.spatial_grid = false;
+      cfg.batched_fanout = false;
+      cfg.pathloss_lut = false;
+      cfg.pathloss_cache = false;
+      break;
+  }
+  return cfg;
+}
+
 struct Crowd {
   EventQueue events;
   Medium medium;
@@ -34,12 +69,7 @@ struct Crowd {
   std::vector<Radio> receivers;
   Radio tx;
 
-  Crowd(int radios, bool spatial_grid)
-      : medium(events, [&] {
-          Medium::Config cfg;
-          cfg.spatial_grid = spatial_grid;
-          return cfg;
-        }()) {
+  Crowd(int radios, Mode mode) : medium(events, mode_config(mode)) {
     support::Rng rng(7);
     for (int i = 0; i < radios; ++i) {
       receivers.push_back(medium.attach(
@@ -50,8 +80,8 @@ struct Crowd {
   }
 };
 
-void deliver_loop(benchmark::State& state, bool spatial_grid, bool move) {
-  Crowd crowd(static_cast<int>(state.range(0)), spatial_grid);
+void deliver_loop(benchmark::State& state, Mode mode, bool move) {
+  Crowd crowd(static_cast<int>(state.range(0)), mode);
   support::Rng rng(11);
   const auto frame = dot11::make_probe_response(
       dot11::MacAddress::random_local(rng), dot11::MacAddress::random_local(rng),
@@ -79,18 +109,30 @@ void deliver_loop(benchmark::State& state, bool spatial_grid, bool move) {
       static_cast<double>(state.iterations());
 }
 
+void BM_DeliverBatched(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatched, /*move=*/false);
+}
+void BM_DeliverBatchedNoCache(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedNoCache, /*move=*/false);
+}
 void BM_DeliverGrid(benchmark::State& state) {
-  deliver_loop(state, /*spatial_grid=*/true, /*move=*/false);
+  deliver_loop(state, Mode::kGrid, /*move=*/false);
 }
 void BM_DeliverLegacyScan(benchmark::State& state) {
-  deliver_loop(state, /*spatial_grid=*/false, /*move=*/false);
+  deliver_loop(state, Mode::kLegacyScan, /*move=*/false);
+}
+void BM_DeliverBatchedMoving(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatched, /*move=*/true);
 }
 void BM_DeliverGridMoving(benchmark::State& state) {
-  deliver_loop(state, /*spatial_grid=*/true, /*move=*/true);
+  deliver_loop(state, Mode::kGrid, /*move=*/true);
 }
 
-BENCHMARK(BM_DeliverGrid)->Arg(100)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_DeliverBatched)->Arg(100)->Arg(1000)->Arg(4000)->Arg(10000);
+BENCHMARK(BM_DeliverBatchedNoCache)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_DeliverGrid)->Arg(100)->Arg(1000)->Arg(4000)->Arg(10000);
 BENCHMARK(BM_DeliverLegacyScan)->Arg(100)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_DeliverBatchedMoving)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_DeliverGridMoving)->Arg(1000)->Arg(4000);
 
 }  // namespace

@@ -5,11 +5,26 @@
 // the parallel outputs are bit-identical to the serial loop, and writes
 // BENCH_wallclock.json so future PRs can compare against this one.
 //
+// Measurement hygiene learned from the PR4 numbers: the serial loop used to
+// run first on a cold container, so every later pass (including the
+// "parallel, 1 thread" sweep entry) was compared against an unfairly slow
+// baseline and speedups drifted below 1.0. The mix is now run once untimed
+// as warmup, and each pass reports its PhaseProfile split (setup/sim/
+// analysis) so a real regression in the runner's setup path would show up
+// as a setup_s delta instead of hiding inside a single wallclock number.
+//
+// Thread counts above the machine's actual hardware concurrency are skipped
+// (oversubscribed numbers on a smaller machine say nothing about the
+// runner), and the JSON records std::thread::hardware_concurrency() itself,
+// not the CITYHUNTER_THREADS override.
+//
 // When a BENCH_wallclock.json from a previous revision already exists in the
 // working directory, its serial time is read back first and the run prints a
 // speedup-vs-previous summary line, so the committed JSON always carries a
 // before/after pair. Heap allocations over the serial loop are counted
-// (bench/alloc_counter.h) and reported per delivered frame.
+// (bench/alloc_counter.h) and reported per delivered frame. A city-scale
+// district (bench/city_scale.h) is timed last: batched SoA pipeline vs the
+// pre-PR grid reference.
 //
 // Usage: wallclock [slot_minutes]
 //   slot_minutes — simulated minutes per slot (default 10; the paper's
@@ -22,8 +37,10 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "bench_common.h"
+#include "city_scale.h"
 #include "sim/parallel.h"
 #include "support/thread_pool.h"
 
@@ -48,6 +65,23 @@ bool identical(const sim::RunOutput& a, const sim::RunOutput& b) {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Sum of the per-run PhaseProfiles of one pass over the mix.
+sim::PhaseProfile sum_phases(const std::vector<sim::RunOutput>& outputs) {
+  sim::PhaseProfile total;
+  for (const auto& out : outputs) {
+    total.setup_s += out.phases.setup_s;
+    total.sim_s += out.phases.sim_s;
+    total.analysis_s += out.phases.analysis_s;
+  }
+  return total;
+}
+
+void print_phases(const sim::PhaseProfile& p) {
+  std::printf("             phases: setup %.3f s, sim %.3f s, "
+              "analysis %.3f s\n",
+              p.setup_s, p.sim_s, p.analysis_s);
 }
 
 /// Serial time recorded by a previous revision's BENCH_wallclock.json in the
@@ -100,14 +134,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::size_t hardware_threads = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
   std::printf("mix: %zu runs × %.0f simulated minutes, hardware threads: "
-              "%zu\n\n",
-              runs.size(), slot_minutes,
+              "%zu, default workers: %zu\n\n",
+              runs.size(), slot_minutes, hardware_threads,
               support::ThreadPool::default_workers());
 
   // Read the previous revision's serial time before we overwrite the file.
   const auto prev_serial_s =
       previous_serial_s("BENCH_wallclock.json", slot_minutes);
+
+  // Warmup pass: run the whole mix once, untimed. The first pass over a
+  // cold container pays page faults, lazy dynamic linking and CPU frequency
+  // ramp; without it the serial baseline (which always ran first) looked
+  // slower than every later pass and per-thread speedups drifted below 1.0
+  // even on an idle machine.
+  const auto t_warm = std::chrono::steady_clock::now();
+  {
+    std::vector<sim::RunOutput> warm;
+    warm.reserve(runs.size());
+    for (const auto& run : runs) warm.push_back(sim::run_campaign(world, run));
+    std::printf("%-10s %8.2f s   (cold pass, discarded)\n", "warmup",
+                seconds_since(t_warm));
+    print_phases(sum_phases(warm));
+  }
 
   const std::uint64_t allocs_before = bench::alloc_count();
   const auto t_serial = std::chrono::steady_clock::now();
@@ -118,6 +169,7 @@ int main(int argc, char** argv) {
   }
   const double serial_s = seconds_since(t_serial);
   const std::uint64_t serial_allocs = bench::alloc_count() - allocs_before;
+  const sim::PhaseProfile serial_phases = sum_phases(serial);
 
   std::uint64_t frames = 0;
   for (const auto& out : serial) frames += out.frames_delivered;
@@ -125,6 +177,7 @@ int main(int argc, char** argv) {
       static_cast<double>(serial_allocs) / static_cast<double>(frames);
   std::printf("%-10s %8.2f s   %10.0f frames/s   speedup 1.00   (baseline)\n",
               "serial", serial_s, static_cast<double>(frames) / serial_s);
+  print_phases(serial_phases);
 
   // EventQueue lifetime counters aggregated over the mix. Peak pending is
   // the max across runs (each run owns its queue).
@@ -166,15 +219,29 @@ int main(int argc, char** argv) {
   std::sort(thread_counts.begin(), thread_counts.end());
   thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
                       thread_counts.end());
+  // Oversubscribing a smaller machine measures the scheduler, not the
+  // runner — drop those sweep entries instead of publishing junk numbers.
+  for (const std::size_t threads : thread_counts) {
+    if (threads > hardware_threads) {
+      std::printf("%zu threads: skipped (exceeds %zu hardware threads)\n",
+                  threads, hardware_threads);
+    }
+  }
+  std::erase_if(thread_counts, [hardware_threads](std::size_t threads) {
+    return threads > hardware_threads;
+  });
+
   std::ofstream json("BENCH_wallclock.json");
   json << "{\n"
        << "  \"mix\": \"fig6 4x12\",\n"
        << "  \"runs\": " << runs.size() << ",\n"
        << "  \"slot_minutes\": " << slot_minutes << ",\n"
        << "  \"frames_delivered\": " << frames << ",\n"
-       << "  \"hardware_threads\": " << support::ThreadPool::default_workers()
-       << ",\n"
+       << "  \"hardware_threads\": " << hardware_threads << ",\n"
        << "  \"serial_s\": " << serial_s << ",\n"
+       << "  \"serial_phases\": {\"setup_s\": " << serial_phases.setup_s
+       << ", \"sim_s\": " << serial_phases.sim_s
+       << ", \"analysis_s\": " << serial_phases.analysis_s << "},\n"
        << "  \"serial_allocs_per_frame\": " << allocs_per_frame << ",\n"
        << "  \"traced_serial_s\": " << traced_s << ",\n"
        << "  \"trace_overhead_pct\": " << trace_overhead_pct << ",\n"
@@ -204,6 +271,7 @@ int main(int argc, char** argv) {
     }
     all_identical = all_identical && same;
 
+    const sim::PhaseProfile pphases = sum_phases(parallel);
     const double speedup = serial_s / wall_s;
     char label[32];
     std::snprintf(label, sizeof(label), "%zu thread%s", threads,
@@ -213,6 +281,7 @@ int main(int argc, char** argv) {
                 label, wall_s, static_cast<double>(frames) / wall_s, speedup,
                 100.0 * pstats.utilization(),
                 same ? "bit-identical to serial" : "MISMATCH vs serial");
+    print_phases(pphases);
     for (std::size_t w = 0; w < pstats.loads.size(); ++w) {
       std::printf("             worker %zu: %zu runs, busy %.2f s\n", w,
                   pstats.loads[w].runs, pstats.loads[w].busy_s);
@@ -222,10 +291,55 @@ int main(int argc, char** argv) {
          << ", \"wall_s\": " << wall_s << ", \"speedup\": " << speedup
          << ", \"frames_per_s\": " << static_cast<double>(frames) / wall_s
          << ", \"utilization\": " << pstats.utilization()
+         << ", \"setup_s\": " << pphases.setup_s
+         << ", \"sim_s\": " << pphases.sim_s
          << ", \"identical\": " << (same ? "true" : "false") << "}";
     first = false;
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],\n";
+
+  // City-scale district (bench/city_scale.h): the batched SoA delivery
+  // pipeline vs the pre-PR grid reference, at a size the harness can afford
+  // to rerun every revision. fig_city_scale covers the full 5k–20k sweep.
+  {
+    bench::CityScaleParams params;
+    params.radios = 5000;
+    params.duration = support::SimTime::seconds(3.0);
+    medium::Medium::Config grid_cfg;
+    grid_cfg.batched_fanout = false;
+    grid_cfg.pathloss_lut = false;
+    grid_cfg.pathloss_cache = false;
+    const bench::CityScaleResult batched =
+        bench::run_city_scale(params, medium::Medium::Config{});
+    const bench::CityScaleResult grid =
+        bench::run_city_scale(params, grid_cfg);
+    const bool agree = batched.transmissions == grid.transmissions &&
+                       batched.deliveries == grid.deliveries;
+    all_identical = all_identical && agree;
+    const double cs_speedup =
+        batched.wall_s > 0.0 ? grid.wall_s / batched.wall_s : 0.0;
+    const double cs_hit_rate =
+        batched.cache_hits + batched.cache_misses > 0
+            ? static_cast<double>(batched.cache_hits) /
+                  static_cast<double>(batched.cache_hits +
+                                      batched.cache_misses)
+            : 0.0;
+    std::printf("city scale: %d radios, %.0f s sim — grid %.3f s, batched "
+                "%.3f s (%.2fx), %.3gM deliveries/s   %s\n",
+                params.radios, params.duration.sec(), grid.wall_s,
+                batched.wall_s, cs_speedup, batched.deliveries_per_s / 1e6,
+                agree ? "pipelines agree" : "PIPELINE MISMATCH");
+    json << "  \"city_scale\": {\"radios\": " << params.radios
+         << ", \"sim_s\": " << params.duration.sec()
+         << ", \"deliveries\": " << batched.deliveries
+         << ", \"grid_wall_s\": " << grid.wall_s
+         << ", \"batched_wall_s\": " << batched.wall_s
+         << ", \"batched_speedup\": " << cs_speedup
+         << ", \"deliveries_per_s\": " << batched.deliveries_per_s
+         << ", \"pathloss_cache_hit_rate\": " << cs_hit_rate
+         << ", \"identical\": " << (agree ? "true" : "false") << "}\n";
+  }
+  json << "}\n";
 
   std::printf("\nserial heap allocations: %llu (%.4f per delivered frame)\n",
               static_cast<unsigned long long>(serial_allocs),

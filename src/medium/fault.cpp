@@ -56,6 +56,13 @@ double FaultModel::link_loss(double rx_power_dbm) const {
 
 support::Rng FaultModel::stream(std::uint64_t tx_radio,
                                 std::uint64_t frame_seq) const {
+  // One stream per (seed, tx radio, frame sequence). Per-receiver erasure
+  // draws consume from it sequentially in the medium's fanout order, which
+  // is pinned to ascending radio id on every delivery path (the batched
+  // pipeline merges slot-sorted grid buckets, and slots never recycle, so
+  // slot order ≡ id order): each draw is therefore also keyed by the
+  // receiver's rank, and lossy runs are bit-identical at any thread count
+  // and under any Config delivery-mode toggle.
   return support::Rng(mix(cfg_.seed ^ mix(tx_radio ^ mix(frame_seq))));
 }
 

@@ -22,6 +22,15 @@ inline double distance(const Position& a, const Position& b) {
   return (a - b).norm();
 }
 
+/// Squared distance — the batched delivery pipeline filters candidates in
+/// this domain against a precomputed range² so no sqrt (or the log10 behind
+/// it) is ever evaluated for radios that turn out to be out of range.
+inline double distance_sq(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
 /// Point on the segment a→b at parameter t in [0,1].
 inline Position lerp(const Position& a, const Position& b, double t) {
   return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};

@@ -29,35 +29,39 @@ Medium::Medium(EventQueue& events, Config cfg)
 
 Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
                      FrameSink* sink) {
-  const RadioId id = next_id_++;
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = RadioState{};
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+  if (slots_.size() >= static_cast<std::size_t>(kNoSlot) - 1) {
+    throw std::length_error("Medium: radio id space exhausted");
   }
-  RadioState& st = slots_[slot];
+  const RadioId id = next_id_++;
+  // Slots are never recycled: slot ≡ id − 1 for the radio's whole lifetime,
+  // which makes slot order identical to id order and lets the batched
+  // fanout merge sorted grid buckets instead of sorting candidates.
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  RadioState& st = slots_.back();
   st.pos = pos;
   st.channel = channel;
   st.tx_power_dbm = tx_power_dbm;
   st.sink = sink;
   st.tx_busy_until = events_.now();
-  if (id >= slot_by_id_.size()) slot_by_id_.resize(id + 1, kNoSlot);
-  slot_by_id_[id] = slot;
-  active_ids_.push_back(id);  // ids increase monotonically: stays sorted
+  soa_x_.push_back(pos.x);
+  soa_y_.push_back(pos.y);
+  soa_key_.push_back(0);
+  link_epoch_.push_back(0);
+  update_soa_key(slot);
+  active_slots_.push_back(slot);  // slots increase monotonically: stays sorted
   ++topology_epoch_;
+  maybe_grow_pair_cache();
   if (cfg_.spatial_grid) {
     if (tx_power_dbm > max_tx_power_dbm_) {
       max_tx_power_dbm_ = tx_power_dbm;
+      rebuild_lut();
       if (propagation_.max_range(max_tx_power_dbm_) > cell_size_) {
         grid_rebuild();  // re-buckets the new radio too
         return Radio(this, id);
       }
     }
-    grid_insert(id, st);
+    grid_insert(slot, st);
   }
   return Radio(this, id);
 }
@@ -65,12 +69,14 @@ Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
 void Medium::detach(Radio& radio) {
   const std::uint32_t slot = slot_of(radio.id_);
   if (slot != kNoSlot) {
-    grid_erase(slots_[slot], radio.id_);
-    slot_by_id_[radio.id_] = kNoSlot;
-    free_slots_.push_back(slot);
-    const auto it = std::lower_bound(active_ids_.begin(), active_ids_.end(),
-                                     radio.id_);
-    if (it != active_ids_.end() && *it == radio.id_) active_ids_.erase(it);
+    RadioState& st = slots_[slot];
+    grid_erase(st, slot);
+    st.attached = false;
+    st.sink = nullptr;
+    soa_key_[slot] = 0;
+    const auto it =
+        std::lower_bound(active_slots_.begin(), active_slots_.end(), slot);
+    if (it != active_slots_.end() && *it == slot) active_slots_.erase(it);
     ++topology_epoch_;
   }
   radio.medium_ = nullptr;
@@ -100,24 +106,28 @@ std::uint64_t Medium::cell_of(Position pos) const {
   return cell_key(cell_coord(pos.x), cell_coord(pos.y));
 }
 
-void Medium::grid_insert(RadioId id, RadioState& st) {
+void Medium::grid_insert(std::uint32_t slot, RadioState& st) {
   st.cell = cell_of(st.pos);
   st.in_grid = true;
-  cells_[st.cell].push_back(id);
+  auto& bucket = cells_[st.cell];
+  // Sorted insert keeps every bucket in ascending slot order for the merge
+  // fanout. A freshly attached slot is the global maximum, so the common
+  // case is an O(1) append; only cell migration pays the shift.
+  if (bucket.empty() || bucket.back() < slot) {
+    bucket.push_back(slot);
+  } else {
+    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), slot), slot);
+  }
 }
 
-void Medium::grid_erase(RadioState& st, RadioId id) {
+void Medium::grid_erase(RadioState& st, std::uint32_t slot) {
   if (!st.in_grid) return;
   auto it = cells_.find(st.cell);
   if (it != cells_.end()) {
-    auto& ids = it->second;
-    const auto pos = std::find(ids.begin(), ids.end(), id);
-    if (pos != ids.end()) {
-      // Swap-pop: bucket order is irrelevant, deliver() sorts candidates.
-      *pos = ids.back();
-      ids.pop_back();
-    }
-    if (ids.empty()) cells_.erase(it);
+    auto& bucket = it->second;
+    const auto pos = std::lower_bound(bucket.begin(), bucket.end(), slot);
+    if (pos != bucket.end() && *pos == slot) bucket.erase(pos);
+    if (bucket.empty()) cells_.erase(it);
   }
   st.in_grid = false;
 }
@@ -125,19 +135,102 @@ void Medium::grid_erase(RadioState& st, RadioId id) {
 void Medium::grid_rebuild() {
   cells_.clear();
   cell_size_ = std::max(1.0, propagation_.max_range(max_tx_power_dbm_));
-  for (const RadioId id : active_ids_) {
-    grid_insert(id, slots_[slot_by_id_[id]]);
+  // active_slots_ is sorted, so every bucket is built by pure appends.
+  for (const std::uint32_t slot : active_slots_) {
+    grid_insert(slot, slots_[slot]);
   }
 }
 
+void Medium::rebuild_lut() {
+  if (!cfg_.pathloss_lut) return;
+  lut_ = PathLossLut(cfg_.propagation,
+                     propagation_.max_range(max_tx_power_dbm_));
+}
+
+void Medium::maybe_grow_pair_cache() {
+  if (!cfg_.pathloss_cache) return;
+  std::size_t want = 1024;
+  while (want < slots_.size() * 2 && want < (std::size_t{1} << 16)) {
+    want <<= 1;
+  }
+  if (want <= pair_cache_.size()) return;
+  // Growing clears the cache; invisible — entries are pure memoization —
+  // and only ever happens at attach time, never mid-frame.
+  pair_cache_.assign(want, PairEntry{});
+  pair_mask_ = want - 1;
+}
+
+const Medium::RangeEntry& Medium::range_for(double tx_power_dbm) {
+  for (const RangeEntry& e : range_cache_) {
+    if (e.dbm == tx_power_dbm) return e;
+  }
+  RangeEntry e;
+  e.dbm = tx_power_dbm;
+  e.box_r = propagation_.max_range(tx_power_dbm);
+  // A negative link budget means the exact model rejects every distance
+  // (below sensitivity even at the 1 m clamp); range_sq = -1 rejects every
+  // d² the same way. At budget >= 0, d² <= max_range² accepts exactly the
+  // distances the exact `deliverable()` predicate accepts.
+  const auto& p = propagation_.config();
+  const double budget =
+      tx_power_dbm - p.reference_loss_db - p.rx_sensitivity_dbm;
+  if (budget >= 0.0) e.range_sq = e.box_r * e.box_r;
+  range_cache_.push_back(e);
+  return range_cache_.back();
+}
+
+double Medium::survivor_rx_dbm(std::uint32_t rx_slot, double tx_dbm,
+                               double dist_sq, Position tx_pos) const {
+  if (cfg_.pathloss_lut && lut_.covers(dist_sq)) {
+    return lut_.rx_power_dbm_sq(tx_dbm, dist_sq);
+  }
+  return propagation_.rx_power_dbm(tx_dbm,
+                                   distance(tx_pos, slots_[rx_slot].pos));
+}
+
+double Medium::pair_cached_rx_dbm(std::uint32_t tx_slot,
+                                  std::uint32_t rx_slot, double tx_dbm,
+                                  double dist_sq, Position tx_pos) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(tx_slot) << 32) | rx_slot;
+  // SplitMix-style finalizer spreads adjacent slot pairs across the table.
+  std::uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  PairEntry& e = pair_cache_[h & pair_mask_];
+  const std::uint32_t te = link_epoch_[tx_slot];
+  const std::uint32_t re = link_epoch_[rx_slot];
+  if (e.key == key && e.tx_dbm == tx_dbm && e.tx_epoch == te &&
+      e.rx_epoch == re) {
+    ++pathloss_cache_hits_;
+    return e.rx_dbm;
+  }
+  ++pathloss_cache_misses_;
+  const double rx = survivor_rx_dbm(rx_slot, tx_dbm, dist_sq, tx_pos);
+  e.key = key;
+  e.tx_dbm = tx_dbm;
+  e.rx_dbm = rx;
+  e.tx_epoch = te;
+  e.rx_epoch = re;
+  return rx;
+}
+
 void Medium::set_position(RadioId id, Position pos) {
-  auto& st = state(id);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
+    throw std::logic_error("Medium: use of detached radio");
+  }
+  RadioState& st = slots_[slot];
   st.pos = pos;
+  soa_x_[slot] = pos.x;
+  soa_y_[slot] = pos.y;
+  ++link_epoch_[slot];  // invalidates every pair-cache entry touching us
   if (!cfg_.spatial_grid) return;
   const std::uint64_t key = cell_of(pos);
   if (st.in_grid && key == st.cell) return;
-  grid_erase(st, id);
-  grid_insert(id, st);
+  grid_erase(st, slot);
+  grid_insert(slot, st);
 }
 
 void Medium::set_tx_power(RadioId id, double dbm) {
@@ -146,8 +239,27 @@ void Medium::set_tx_power(RadioId id, double dbm) {
   if (!cfg_.spatial_grid) return;
   if (dbm > max_tx_power_dbm_) {
     max_tx_power_dbm_ = dbm;
+    rebuild_lut();
     if (propagation_.max_range(max_tx_power_dbm_) > cell_size_) grid_rebuild();
   }
+}
+
+void Medium::set_channel(RadioId id, std::uint8_t ch) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
+    throw std::logic_error("Medium: use of detached radio");
+  }
+  slots_[slot].channel = ch;
+  update_soa_key(slot);
+}
+
+void Medium::set_sink(RadioId id, FrameSink* sink) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNoSlot) {
+    throw std::logic_error("Medium: use of detached radio");
+  }
+  slots_[slot].sink = sink;
+  update_soa_key(slot);
 }
 
 Medium::Transmission& Medium::acquire_txn() {
@@ -284,12 +396,142 @@ void Medium::finish_transmission(Transmission& t) {
           t.fault_rng ? &*t.fault_rng : nullptr);
 }
 
+void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
+                             std::uint8_t channel, Position tx_pos,
+                             double tx_power_dbm, support::Rng* fault_rng) {
+  // Snapshot in-range candidates first: a sink callback may attach/detach
+  // radios or move them. The member scratch vector is reused across calls;
+  // reentrant delivery (a sink pumping the event queue) falls back to a
+  // local.
+  std::vector<BatchCandidate> local;
+  std::vector<BatchCandidate>& cand =
+      deliver_depth_ == 0 ? batch_scratch_ : local;
+  cand.clear();
+  ++deliver_depth_;
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  } guard{deliver_depth_};
+
+  const RangeEntry re = range_for(tx_power_dbm);
+  const std::uint32_t self = static_cast<std::uint32_t>(from - 1);
+  const std::uint16_t want = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(channel) + 1);
+
+  // Gather per-cell runs of in-range listeners. One uint16 compare covers
+  // the attached/sink/channel filters (the fused SoA key), and the range
+  // check happens in the squared-distance domain — no sqrt/log10 for
+  // radios that turn out to be out of range. Buckets are slot-sorted, so
+  // each run comes out pre-sorted for the merge below.
+  struct Run {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  Run runs[9];  // the range box spans at most 3x3 cells by construction
+  int nruns = 0;
+  const std::int64_t cx0 = cell_coord(tx_pos.x - re.box_r);
+  const std::int64_t cx1 = cell_coord(tx_pos.x + re.box_r);
+  const std::int64_t cy0 = cell_coord(tx_pos.y - re.box_r);
+  const std::int64_t cy1 = cell_coord(tx_pos.y + re.box_r);
+  for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+      const auto cell = cells_.find(cell_key(cx, cy));
+      if (cell == cells_.end()) continue;
+      const std::uint32_t start = static_cast<std::uint32_t>(cand.size());
+      for (const std::uint32_t slot : cell->second) {
+        if (soa_key_[slot] != want || slot == self) continue;
+        const double dx = soa_x_[slot] - tx_pos.x;
+        const double dy = soa_y_[slot] - tx_pos.y;
+        const double dist_sq = dx * dx + dy * dy;
+        if (!(dist_sq <= re.range_sq)) continue;  // rejects NaN too
+        cand.push_back({slot, dist_sq});
+      }
+      const std::uint32_t end = static_cast<std::uint32_t>(cand.size());
+      if (end > start && nruns < 9) runs[nruns++] = {start, end};
+    }
+  }
+
+  // Merge the sorted runs by repeated min-pick: candidates come out in
+  // global slot order == radio-id order, so the fanout (and with it the
+  // fault-stream draw order) is bit-identical to the legacy id-sorted path
+  // without any per-frame sort. The run heads live in one flat array the
+  // min-scan reads without indirection; an exhausted run parks at kNoSlot,
+  // which no live slot can beat, so the scan needs no emptiness branches.
+  std::uint32_t head_slot[9];
+  std::uint32_t head_idx[9];
+  for (int i = 0; i < nruns; ++i) {
+    head_idx[i] = runs[i].begin;
+    head_slot[i] = cand[runs[i].begin].slot;
+  }
+  const bool multicast = frame.header.addr1.is_multicast();
+  while (nruns > 0) {
+    int best = 0;
+    for (int i = 1; i < nruns; ++i) {
+      if (head_slot[i] < head_slot[best]) best = i;
+    }
+    if (head_slot[best] == kNoSlot) break;  // every run exhausted
+    const BatchCandidate c = cand[head_idx[best]];
+    const std::uint32_t next = head_idx[best] + 1;
+    head_idx[best] = next;
+    head_slot[best] = next < runs[best].end ? cand[next].slot : kNoSlot;
+    RadioState& st = slots_[c.slot];
+    // A sink callback from an earlier candidate may have detached this
+    // radio (or cleared its sink) mid-fanout; skip before any fault draw is
+    // consumed, exactly as the reference path does.
+    if (!st.attached || st.sink == nullptr) continue;
+    double rx_dbm;
+    if (fault_rng != nullptr) {
+      // The erasure draw below must see bit-identical RX power to the
+      // reference path, so lossy runs always take the exact hypot + log10
+      // road; survivors then reuse the same value as their RSSI.
+      rx_dbm =
+          propagation_.rx_power_dbm(tx_power_dbm, distance(tx_pos, st.pos));
+      if (fault_rng->chance(multicast ? fault_.link_loss(rx_dbm)
+                                      : fault_.per(rx_dbm))) {
+        ++st.rx_lost;
+        ++frames_lost_;
+        ++drops_.erasure;
+        if (trace_ != nullptr) {
+          trace_->record(events_.now(), obs::Category::kFault,
+                         obs::Event::kDropErasure,
+                         static_cast<RadioId>(c.slot) + 1, from);
+        }
+        continue;
+      }
+    } else if (cfg_.pathloss_cache && !pair_cache_.empty()) {
+      rx_dbm =
+          pair_cached_rx_dbm(self, c.slot, tx_power_dbm, c.dist_sq, tx_pos);
+    } else {
+      rx_dbm = survivor_rx_dbm(c.slot, tx_power_dbm, c.dist_sq, tx_pos);
+    }
+    RxInfo info;
+    info.rssi_dbm = rx_dbm;
+    info.time = events_.now();
+    info.channel = channel;
+    ++st.frames_received;
+    ++deliveries_;
+    if (trace_ != nullptr) {
+      trace_->record(events_.now(), obs::Category::kMedium,
+                     obs::Event::kDeliver, static_cast<RadioId>(c.slot) + 1,
+                     from);
+    }
+    st.sink->on_frame(frame, info);
+  }
+}
+
 void Medium::deliver(RadioId from, const dot11::Frame& frame,
                      std::uint8_t channel, Position tx_pos,
                      double tx_power_dbm, support::Rng* fault_rng) {
-  // Snapshot receiver candidates first: a sink callback may attach/detach
-  // radios. The member scratch vector is reused across calls; reentrant
-  // delivery (a sink pumping the event queue) falls back to a local.
+  if (cfg_.spatial_grid && cfg_.batched_fanout && !cells_.empty()) {
+    deliver_batched(from, frame, channel, tx_pos, tx_power_dbm, fault_rng);
+    return;
+  }
+
+  // Reference paths (Config toggles): gather + std::sort over the grid, or
+  // the legacy full scan — exact per-candidate math either way. Snapshot
+  // receiver candidates first: a sink callback may attach/detach radios.
+  // The member scratch vector is reused across calls; reentrant delivery (a
+  // sink pumping the event queue) falls back to a local.
   std::vector<Candidate> local;
   std::vector<Candidate>& targets =
       deliver_depth_ == 0 ? deliver_scratch_ : local;
@@ -311,9 +553,9 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
       for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
         const auto cell = cells_.find(cell_key(cx, cy));
         if (cell == cells_.end()) continue;
-        for (const RadioId id : cell->second) {
-          const std::uint32_t slot = slot_by_id_[id];
+        for (const std::uint32_t slot : cell->second) {
           const RadioState& st = slots_[slot];
+          const RadioId id = static_cast<RadioId>(slot) + 1;
           if (id == from || st.channel != channel || st.sink == nullptr) {
             continue;
           }
@@ -326,10 +568,10 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
     std::sort(targets.begin(), targets.end(),
               [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
   } else {
-    targets.reserve(active_ids_.size());
-    for (const RadioId id : active_ids_) {
-      const std::uint32_t slot = slot_by_id_[id];
+    targets.reserve(active_slots_.size());
+    for (const std::uint32_t slot : active_slots_) {
       const RadioState& st = slots_[slot];
+      const RadioId id = static_cast<RadioId>(slot) + 1;
       if (id == from || st.channel != channel || st.sink == nullptr) continue;
       targets.push_back({id, slot});
     }
@@ -388,10 +630,10 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
 Position Radio::position() const { return medium_->state(id_).pos; }
 void Radio::set_position(Position p) { medium_->set_position(id_, p); }
 std::uint8_t Radio::channel() const { return medium_->state(id_).channel; }
-void Radio::set_channel(std::uint8_t ch) { medium_->state(id_).channel = ch; }
+void Radio::set_channel(std::uint8_t ch) { medium_->set_channel(id_, ch); }
 double Radio::tx_power_dbm() const { return medium_->state(id_).tx_power_dbm; }
 void Radio::set_tx_power_dbm(double dbm) { medium_->set_tx_power(id_, dbm); }
-void Radio::set_sink(FrameSink* sink) { medium_->state(id_).sink = sink; }
+void Radio::set_sink(FrameSink* sink) { medium_->set_sink(id_, sink); }
 
 void Radio::transmit(const dot11::Frame& frame) {
   medium_->transmit(id_, frame);

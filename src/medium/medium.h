@@ -8,18 +8,29 @@
 // Delivery fanout is culled by a uniform spatial grid over radio positions:
 // the cell size tracks the maximum deliverable range of the strongest
 // attached transmitter, so a transmission only probes the few cells its own
-// range box overlaps instead of scanning every radio in the venue. The grid
-// is maintained incrementally on attach/detach/set_position; candidates are
-// sorted by radio id before fanout, so delivery order (and therefore every
-// simulation result) is bit-identical to the legacy full scan.
+// range box overlaps instead of scanning every radio in the venue.
 //
-// Hot-path storage: radio state lives in a dense slab indexed through a
-// per-id slot table (ids are never reused, so the id-sorted fanout order —
-// and with it the fault-stream draw order — is unaffected by slot
-// recycling), and each in-flight transmission borrows a pooled object that
-// owns the wire buffer, the decoded frame every receiver shares, and the
-// fault RNG. At steady state a transmit→deliver round trip performs no heap
-// allocation.
+// Batched SoA delivery pipeline (default): radio position and a fused
+// listening key (attached ∧ has-sink ∧ channel) are mirrored into flat
+// parallel arrays indexed by slot. Slots are issued monotonically and never
+// recycled (slot ≡ id − 1), so slot order IS radio-id order: grid buckets
+// keep their slots sorted, the 3x3 cell probe gathers per-cell runs that are
+// already ordered, and a ≤9-way merge walks them in global id order — the
+// per-frame std::sort of candidates is gone, yet the fanout order (and with
+// it the fault-stream draw order) is bit-identical to the legacy id-sorted
+// scan. Candidates are filtered in the squared-distance domain against a
+// precomputed per-tx-power range², so sqrt/log10 never run for radios that
+// turn out to be out of range; survivors get their RX power from a monotone
+// piecewise-linear path-loss LUT over d² (error ≪ RSSI quantization) fronted
+// by an epoch-invalidated per-(tx,rx) slot-pair cache that makes static
+// AP↔AP beacon fanout transcendental-free. Exact log-distance math is
+// retained behind Config toggles and always used on the fault path, where
+// the erasure draw must see bit-identical RX power.
+//
+// Hot-path storage: radio state lives in a dense slab indexed by slot, and
+// each in-flight transmission borrows a pooled object that owns the wire
+// buffer, the decoded frame every receiver shares, and the fault RNG. At
+// steady state a transmit→deliver round trip performs no heap allocation.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +67,21 @@ class Medium {
     /// legacy scan over every attached radio (kept for the micro-bench
     /// comparison in bench/micro_medium; results are identical either way).
     bool spatial_grid = true;
+    /// Batched SoA fanout: slot-ordered merge over sorted grid buckets with
+    /// squared-distance filtering. Disable to fall back to the gather +
+    /// std::sort + exact-math reference path (requires spatial_grid).
+    /// Results are identical either way.
+    bool batched_fanout = true;
+    /// Piecewise-linear path-loss LUT for survivor RX power on the batched
+    /// path. Disable for exact log10 math on every survivor. The LUT error
+    /// (< PathLossLut::max_error_db(), ~4.5e-4 dB at default exponent) is
+    /// orders of magnitude below RSSI quantization.
+    bool pathloss_lut = true;
+    /// Per-(tx slot, rx slot) RX-power cache, invalidated by per-radio link
+    /// epochs (bumped on every move / TX-power change). Static AP↔AP pairs
+    /// hit it on every beacon. Stores exactly what the LUT/exact path would
+    /// compute, so toggling it cannot change results.
+    bool pathloss_cache = true;
     /// Deterministic fault injection (loss, corruption, retries). Disabled
     /// by default: the perfect channel stays byte-identical to the seed.
     FaultModel::Config fault{};
@@ -89,6 +115,12 @@ class Medium {
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
   std::uint64_t retries() const { return retries_; }
 
+  /// Pathloss pair-cache effectiveness (batched, fault-free path only).
+  std::uint64_t pathloss_cache_hits() const { return pathloss_cache_hits_; }
+  std::uint64_t pathloss_cache_misses() const {
+    return pathloss_cache_misses_;
+  }
+
   /// Why frames died, split by cause. Additive to the aggregate counters
   /// above (frames_lost == erasure + collision; a crc_reject is one
   /// frames_corrupted transmission whose bytes every receiver then refused).
@@ -120,6 +152,7 @@ class Medium {
   struct RadioState {
     Position pos;
     std::uint8_t channel = 1;
+    bool attached = true;           // false once detached; slots never recycle
     double tx_power_dbm = 0.0;
     FrameSink* sink = nullptr;
     SimTime tx_busy_until;
@@ -152,16 +185,39 @@ class Medium {
     std::optional<support::Rng> fault_rng;
   };
 
-  /// A fanout candidate: id for identity (stable forever), slot for O(1)
-  /// state access while the topology is unchanged.
+  /// A reference-path fanout candidate: id for identity (stable forever),
+  /// slot for O(1) state access while the topology is unchanged.
   struct Candidate {
     RadioId id = 0;
     std::uint32_t slot = kNoSlot;
   };
 
-  /// Slot for `id`, kNoSlot when detached/unknown. O(1).
+  /// A batched-path candidate: in-range survivor with its gathered squared
+  /// distance (slot order == id order, so no separate identity is needed).
+  struct BatchCandidate {
+    std::uint32_t slot = kNoSlot;
+    double dist_sq = 0.0;
+  };
+
+  /// One entry of the pair pathloss cache. Valid for a lookup iff key,
+  /// tx_dbm and both link epochs match; any move or power change of either
+  /// endpoint bumps its epoch and silently invalidates every entry touching
+  /// it. Stores exactly the RX power the LUT/exact path computes, so a hit
+  /// is behaviorally indistinguishable from a recompute.
+  struct PairEntry {
+    std::uint64_t key = ~std::uint64_t{0};  // (tx_slot << 32) | rx_slot
+    double tx_dbm = 0.0;
+    double rx_dbm = 0.0;
+    std::uint32_t tx_epoch = 0;
+    std::uint32_t rx_epoch = 0;
+  };
+
+  /// Slot for `id`: ids are issued monotonically and slots never recycle,
+  /// so slot ≡ id − 1 for the radio's whole lifetime. kNoSlot once detached.
   std::uint32_t slot_of(RadioId id) const {
-    return id < slot_by_id_.size() ? slot_by_id_[id] : kNoSlot;
+    return id >= 1 && id <= slots_.size() && slots_[id - 1].attached
+               ? static_cast<std::uint32_t>(id - 1)
+               : kNoSlot;
   }
 
   RadioState& state(RadioId id);
@@ -173,18 +229,63 @@ class Medium {
   void finish_transmission(Transmission& t);
   /// `fault_rng` is the transmission's dedicated fault stream (nullptr when
   /// fault injection is off); per-receiver erasure draws consume from it in
-  /// the sorted fanout order, so delivery stays deterministic.
+  /// id-sorted fanout order (which the batched path reproduces as slot
+  /// order), so delivery stays deterministic.
   void deliver(RadioId from, const dot11::Frame& frame, std::uint8_t channel,
                Position tx_pos, double tx_power_dbm,
                support::Rng* fault_rng = nullptr);
+  /// Batched SoA fanout: sorted-bucket gather, squared-distance filter,
+  /// ≤9-way merge in slot order, LUT/cached RX power for survivors.
+  void deliver_batched(RadioId from, const dot11::Frame& frame,
+                       std::uint8_t channel, Position tx_pos,
+                       double tx_power_dbm, support::Rng* fault_rng);
 
   Transmission& acquire_txn();
 
-  /// Radio moved: update its grid cell membership in O(cell occupancy).
+  /// Radio moved: update its grid cell membership in O(cell occupancy) and
+  /// invalidate its pair-cache entries via the link epoch.
   void set_position(RadioId id, Position pos);
   /// TX power raised: the grid cell size may need to grow to keep a range
-  /// box within a 3x3 cell neighbourhood.
+  /// box within a 3x3 cell neighbourhood (and the LUT coverage with it).
   void set_tx_power(RadioId id, double dbm);
+  void set_channel(RadioId id, std::uint8_t ch);
+  void set_sink(RadioId id, FrameSink* sink);
+
+  /// Refresh the radio's fused SoA listening key: 0 when it cannot receive
+  /// (detached or no sink), channel + 1 otherwise. One uint16 compare in the
+  /// gather loop then covers the attached/sink/channel filters at once.
+  void update_soa_key(std::uint32_t slot) {
+    const RadioState& st = slots_[slot];
+    soa_key_[slot] = st.attached && st.sink != nullptr
+                         ? static_cast<std::uint16_t>(st.channel) + 1
+                         : 0;
+  }
+
+  /// Memoized per-TX-power range data (venues use a handful of power
+  /// classes): the cull-box radius (exactly the legacy max_range) and the
+  /// squared-distance acceptance threshold, -1 when the link budget is
+  /// negative so the filter matches the exact `deliverable()` predicate at
+  /// both ends.
+  struct RangeEntry {
+    double dbm = 0.0;
+    double box_r = 0.0;
+    double range_sq = -1.0;
+  };
+  const RangeEntry& range_for(double tx_power_dbm);
+
+  /// Survivor RX power through the pair cache (batched fault-free path).
+  double pair_cached_rx_dbm(std::uint32_t tx_slot, std::uint32_t rx_slot,
+                            double tx_dbm, double dist_sq, Position tx_pos);
+  /// Survivor RX power: LUT when enabled and covering, exact (fresh hypot,
+  /// bit-identical to the reference path) otherwise.
+  double survivor_rx_dbm(std::uint32_t rx_slot, double tx_dbm, double dist_sq,
+                         Position tx_pos) const;
+
+  /// (Re)build the d² path-loss LUT to cover the strongest transmitter.
+  void rebuild_lut();
+  /// Grow the pair cache with the population (attach-time only; clears it,
+  /// which is invisible — entries are pure memoization).
+  void maybe_grow_pair_cache();
 
   static std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
@@ -192,8 +293,8 @@ class Medium {
   }
   std::int64_t cell_coord(double v) const;
   std::uint64_t cell_of(Position pos) const;
-  void grid_insert(RadioId id, RadioState& st);
-  void grid_erase(RadioState& st, RadioId id);
+  void grid_insert(std::uint32_t slot, RadioState& st);
+  void grid_erase(RadioState& st, std::uint32_t slot);
   /// Recompute the cell size from the strongest transmitter and re-bucket
   /// every radio. Rare: only when a new power class appears.
   void grid_rebuild();
@@ -204,16 +305,42 @@ class Medium {
   FaultModel fault_;
   RadioId next_id_ = 1;
 
-  // Flat radio table. slot_by_id_ grows monotonically with next_id_ (4
-  // bytes per id ever issued); slots are recycled through free_slots_.
-  // active_ids_ stays sorted — ids only ever increase, so attach appends.
+  // Flat radio table, indexed by slot ≡ id − 1. Slots are never recycled:
+  // the table grows with every attach (~200 bytes per radio ever attached),
+  // buying the slot-order ≡ id-order invariant the batched fanout relies
+  // on. active_slots_ stays sorted — slots only ever increase, so attach
+  // appends.
   std::vector<RadioState> slots_;
-  std::vector<std::uint32_t> slot_by_id_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<RadioId> active_ids_;
-  /// Bumped on attach/detach; lets deliver() trust cached candidate slots
-  /// until the topology actually changes under a sink callback.
+  std::vector<std::uint32_t> active_slots_;
+  /// Bumped on attach/detach; lets the reference path trust cached
+  /// candidate slots until the topology actually changes under a sink
+  /// callback.
   std::uint64_t topology_epoch_ = 0;
+
+  // SoA mirror of the per-slot fields the gather loop touches, kept in sync
+  // by attach/detach/set_position/set_channel/set_sink. Separate arrays keep
+  // the gather's memory traffic at 18 bytes/radio instead of the ~200-byte
+  // RadioState stride.
+  std::vector<double> soa_x_;
+  std::vector<double> soa_y_;
+  std::vector<std::uint16_t> soa_key_;
+  /// Per-slot link epoch for the pair cache: bumped on set_position (power
+  /// changes are caught by the entry's stored tx_dbm).
+  std::vector<std::uint32_t> link_epoch_;
+
+  // Pair pathloss cache: open-addressed, overwrite-on-collision, sized as a
+  // power of two at attach time. Never touched by the fault path (which
+  // needs exact math anyway) and never resized mid-frame.
+  std::vector<PairEntry> pair_cache_;
+  std::uint64_t pair_mask_ = 0;
+  std::uint64_t pathloss_cache_hits_ = 0;
+  std::uint64_t pathloss_cache_misses_ = 0;
+
+  // Memoized range data per distinct TX power, linear-scanned (a venue has
+  // a handful of power classes).
+  std::vector<RangeEntry> range_cache_;
+
+  PathLossLut lut_;
 
   // Transmission pool. all_txns_ owns; free_txns_ holds the idle ones.
   std::vector<std::unique_ptr<Transmission>> all_txns_;
@@ -222,11 +349,14 @@ class Medium {
   // deliver() fanout scratch, reused across calls (depth-guarded: reentrant
   // delivery falls back to a local vector).
   std::vector<Candidate> deliver_scratch_;
+  std::vector<BatchCandidate> batch_scratch_;
   int deliver_depth_ = 0;
 
   double cell_size_ = 0.0;
   double max_tx_power_dbm_ = -1e300;
-  std::unordered_map<std::uint64_t, std::vector<RadioId>> cells_;
+  /// Grid buckets hold slots sorted ascending (== ascending radio id), so
+  /// per-cell gather runs come out pre-sorted for the merge fanout.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t transmissions_ = 0;
   std::uint64_t frames_lost_ = 0;

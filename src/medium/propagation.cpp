@@ -20,6 +20,45 @@ double LogDistancePathLoss::max_range(double tx_power_dbm) const {
   return std::pow(10.0, budget_db / (10.0 * cfg_.exponent));
 }
 
+PathLossLut::PathLossLut(const LogDistancePathLoss::Config& cfg,
+                         double max_dist_m) {
+  ref_loss_db_ = cfg.reference_loss_db;
+  const double span = std::max(1.0, max_dist_m);
+  const double max_s = span * span;
+  int octaves = 1;
+  while (std::ldexp(1.0, octaves) < max_s && octaves < 128) ++octaves;
+  max_dist_sq_ = std::ldexp(1.0, octaves);
+
+  const std::size_t n = std::size_t(octaves) << kSegBitsLog2;
+  seg_.resize(n);
+  const double c10 = 5.0 * cfg.exponent;        // PL = ref + c10·log10(s)
+  const double c_ln = c10 / std::log(10.0);     // dPL/d(ln s)
+  double worst = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Bit-exact segment endpoints: the same (exponent, top-mantissa-bits)
+    // decomposition rx_power_dbm_sq() uses for the lookup.
+    const auto knot = [](std::size_t i) {
+      return std::bit_cast<double>(
+          ((std::uint64_t{1023} << kSegBitsLog2) + i) << (52 - kSegBitsLog2));
+    };
+    const double s0 = knot(k);
+    const double s1 = knot(k + 1);
+    const double f0 = ref_loss_db_ + c10 * std::log10(s0);
+    const double f1 = ref_loss_db_ + c10 * std::log10(s1);
+    const double b = (f1 - f0) / (s1 - s0);
+    seg_[k] = {f0 - b * s0, b};
+    if (b > 0.0) {
+      // PL is concave in s, so the chord sits below the curve; the gap peaks
+      // where the tangent parallels the chord, at s* = c_ln / b.
+      const double sm = c_ln / b;
+      const double gap =
+          (ref_loss_db_ + c10 * std::log10(sm)) - (seg_[k].a + b * sm);
+      worst = std::max(worst, gap);
+    }
+  }
+  max_error_db_ = worst;
+}
+
 double dbm_from_milliwatts(double mw) { return 10.0 * std::log10(mw); }
 
 }  // namespace cityhunter::medium

@@ -33,6 +33,12 @@ class Medium;
 
 /// Lightweight handle to a radio owned by the Medium. Copyable; all state
 /// lives in the Medium so handles stay valid until detach().
+///
+/// Radio ids are issued monotonically and never reused; the Medium's slot
+/// table keys off id − 1 forever. Setters that affect delivery eligibility
+/// (set_channel / set_sink / set_position) are routed through the Medium so
+/// its flat SoA mirror — which the batched fanout reads instead of the
+/// per-radio state — stays in sync.
 class Radio {
  public:
   Radio() = default;

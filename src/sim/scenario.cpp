@@ -282,6 +282,10 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
     m.add(m.counter("medium.transmissions"), medium.transmissions());
     m.add(m.counter("medium.deliveries"), medium.deliveries());
     m.add(m.counter("medium.retries"), medium.retries());
+    m.add(m.counter("medium.pathloss_cache_hits"),
+          medium.pathloss_cache_hits());
+    m.add(m.counter("medium.pathloss_cache_misses"),
+          medium.pathloss_cache_misses());
     const auto& drops = medium.drops();
     m.add(m.counter("fault.drop_erasure"), drops.erasure);
     m.add(m.counter("fault.drop_collision"), drops.collision);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -318,6 +321,323 @@ TEST_F(MediumTest, SinkMayDetachRadiosDuringDelivery) {
   EXPECT_FALSE(c.valid());
   EXPECT_TRUE(rx.frames.empty());  // c was detached before its delivery
   (void)b;
+}
+
+// --- PathLossLut ---
+
+TEST(PathLossLut, MonotoneAndWithinErrorBound) {
+  LogDistancePathLoss::Config cfg;
+  LogDistancePathLoss exact(cfg);
+  PathLossLut lut(cfg, 600.0);
+  ASSERT_TRUE(lut.covers(600.0 * 600.0));
+  // The analytic per-segment bound must be tiny versus RSSI quantization.
+  EXPECT_GT(lut.max_error_db(), 0.0);
+  EXPECT_LT(lut.max_error_db(), 0.002);
+
+  double prev_rx = 1e300;
+  Rng rng(99);
+  for (int i = 0; i <= 20000; ++i) {
+    const double d = 1.0 + (600.0 - 1.0) * i / 20000.0;
+    const double approx = lut.rx_power_dbm_sq(20.0, d * d);
+    const double truth = exact.rx_power_dbm(20.0, d);
+    // The chord sits below the concave PL curve, so the approximation never
+    // understates path loss by more than the bound and never overstates it.
+    EXPECT_LE(truth - approx, 1e-12) << "d=" << d;
+    EXPECT_LE(approx - truth, lut.max_error_db() + 1e-12) << "d=" << d;
+    EXPECT_LE(approx, prev_rx + 1e-15) << "d=" << d;  // monotone in distance
+    prev_rx = approx;
+    // Random spot checks too, not just the uniform sweep.
+    const double rd = rng.uniform(1.0, 600.0);
+    const double delta =
+        lut.rx_power_dbm_sq(20.0, rd * rd) - exact.rx_power_dbm(20.0, rd);
+    EXPECT_LE(std::abs(delta), lut.max_error_db() + 1e-12);
+  }
+}
+
+TEST(PathLossLut, ClampMatchesExactInsideReferenceDistance) {
+  LogDistancePathLoss::Config cfg;
+  LogDistancePathLoss exact(cfg);
+  PathLossLut lut(cfg, 100.0);
+  EXPECT_DOUBLE_EQ(lut.rx_power_dbm_sq(20.0, 0.25),
+                   exact.rx_power_dbm(20.0, 0.5));
+  EXPECT_DOUBLE_EQ(lut.rx_power_dbm_sq(20.0, 1.0),
+                   exact.rx_power_dbm(20.0, 1.0));
+}
+
+// --- Batched-vs-reference equivalence fuzz ---
+
+// One recorded delivery: which receiver, when, at what RSSI.
+struct DeliveryRecord {
+  std::uint64_t rx_id = 0;
+  std::int64_t t_us = 0;
+  double rssi_dbm = 0.0;
+  std::uint8_t channel = 0;
+
+  bool operator==(const DeliveryRecord&) const = default;
+};
+
+// A Medium plus a population of radios whose sinks log every delivery into
+// one shared sequence — the observable behavior two pipelines must agree on.
+struct FuzzRig {
+  struct LoggingSink : FrameSink {
+    std::vector<DeliveryRecord>* log = nullptr;
+    std::uint64_t id = 0;
+    void on_frame(const dot11::Frame&, const RxInfo& info) override {
+      log->push_back({id, info.time.us(), info.rssi_dbm, info.channel});
+    }
+  };
+
+  EventQueue events;
+  Medium medium;
+  std::vector<std::unique_ptr<LoggingSink>> sinks;
+  std::vector<Radio> radios;
+  std::vector<DeliveryRecord> log;
+
+  explicit FuzzRig(Medium::Config cfg) : medium(events, cfg) {}
+
+  void attach(Position pos, std::uint8_t channel, double dbm) {
+    auto sink = std::make_unique<LoggingSink>();
+    sink->log = &log;
+    radios.push_back(medium.attach(pos, channel, dbm, sink.get()));
+    sink->id = radios.back().id();
+    sinks.push_back(std::move(sink));
+  }
+};
+
+// Scripted operations, generated once and replayed against every rig.
+struct FuzzOp {
+  enum Kind { kAttach, kDetach, kMove, kSetChannel, kTransmit } kind;
+  std::size_t target = 0;    // radio index (mod population)
+  Position pos;
+  std::uint8_t channel = 6;
+  double dbm = 15.0;
+  bool broadcast = true;
+};
+
+std::vector<FuzzOp> make_fuzz_script(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::vector<FuzzOp> script;
+  const std::uint8_t channels[] = {1, 6, 11};
+  // Positions span ±200 m with ~60 m cells: moves routinely cross cell
+  // boundaries and transmissions straddle several buckets.
+  const auto pos = [&rng]() -> Position {
+    return {rng.uniform(-200.0, 200.0), rng.uniform(-200.0, 200.0)};
+  };
+  for (int i = 0; i < 12; ++i) {  // initial population
+    script.push_back({FuzzOp::kAttach, 0, pos(),
+                      channels[rng.index(3)],
+                      rng.chance(0.3) ? 20.0 : 15.0, true});
+  }
+  for (int i = 0; i < ops; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    FuzzOp op;
+    op.target = rng.index(64);
+    op.pos = pos();
+    op.channel = channels[rng.index(3)];
+    op.dbm = rng.chance(0.3) ? 20.0 : 15.0;
+    op.broadcast = rng.chance(0.5);
+    if (roll < 0.12) {
+      op.kind = FuzzOp::kAttach;
+    } else if (roll < 0.2) {
+      op.kind = FuzzOp::kDetach;
+    } else if (roll < 0.38) {
+      op.kind = FuzzOp::kMove;
+    } else if (roll < 0.46) {
+      op.kind = FuzzOp::kSetChannel;
+    } else {
+      op.kind = FuzzOp::kTransmit;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+void replay(FuzzRig& rig, const std::vector<FuzzOp>& script) {
+  Rng frame_rng(4242);  // same MACs in every rig
+  std::size_t alive_guess = 0;
+  for (const FuzzOp& op : script) {
+    const std::size_t n = rig.radios.size();
+    switch (op.kind) {
+      case FuzzOp::kAttach:
+        rig.attach(op.pos, op.channel, op.dbm);
+        ++alive_guess;
+        break;
+      case FuzzOp::kDetach: {
+        if (n == 0) break;
+        Radio& r = rig.radios[op.target % n];
+        if (r.valid()) rig.medium.detach(r);
+        break;
+      }
+      case FuzzOp::kMove: {
+        if (n == 0) break;
+        Radio& r = rig.radios[op.target % n];
+        if (r.valid()) r.set_position(op.pos);
+        break;
+      }
+      case FuzzOp::kSetChannel: {
+        if (n == 0) break;
+        Radio& r = rig.radios[op.target % n];
+        if (r.valid()) r.set_channel(op.channel);
+        break;
+      }
+      case FuzzOp::kTransmit: {
+        if (n == 0) break;
+        Radio& r = rig.radios[op.target % n];
+        const auto src = MacAddress::random_local(frame_rng);
+        const auto dst = MacAddress::random_local(frame_rng);
+        if (!r.valid()) break;
+        if (op.broadcast) {
+          r.transmit(dot11::make_broadcast_probe_request(src));
+        } else {
+          r.transmit(
+              dot11::make_probe_response(src, dst, "fuzz-ssid", r.channel(),
+                                         true));
+        }
+        rig.events.run_all();
+        break;
+      }
+    }
+  }
+  (void)alive_guess;
+}
+
+Medium::Config fuzz_config(bool batched, bool lut, bool cache, bool grid,
+                           bool fault) {
+  Medium::Config cfg;
+  cfg.spatial_grid = grid;
+  cfg.batched_fanout = batched;
+  cfg.pathloss_lut = lut;
+  cfg.pathloss_cache = cache;
+  if (fault) {
+    cfg.fault.enabled = true;
+    cfg.fault.seed = 77;
+    cfg.fault.ambient_loss = 0.05;
+    cfg.fault.corruption_rate = 0.02;
+  }
+  return cfg;
+}
+
+TEST(MediumEquivalence, BatchedMatchesReferenceUnderChurn) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const auto script = make_fuzz_script(seed, 300);
+
+    // Exact-math rigs: every delivery must match bit for bit.
+    FuzzRig reference(fuzz_config(false, false, false, true, false));
+    FuzzRig scan(fuzz_config(false, false, false, false, false));
+    FuzzRig batched_exact(fuzz_config(true, false, false, true, false));
+    FuzzRig batched_cached(fuzz_config(true, false, true, true, false));
+    replay(reference, script);
+    replay(scan, script);
+    replay(batched_exact, script);
+    replay(batched_cached, script);
+    EXPECT_EQ(reference.log, scan.log) << "seed " << seed;
+    EXPECT_EQ(reference.log, batched_exact.log) << "seed " << seed;
+    EXPECT_EQ(reference.log, batched_cached.log) << "seed " << seed;
+
+    // LUT rig: identical delivery set/order/timing; RSSI within the LUT's
+    // analytic error bound (far below RSSI quantization).
+    FuzzRig batched_lut(fuzz_config(true, true, true, true, false));
+    replay(batched_lut, script);
+    ASSERT_EQ(batched_lut.log.size(), reference.log.size()) << "seed " << seed;
+    const PathLossLut bound_lut(Medium::Config{}.propagation, 1000.0);
+    for (std::size_t i = 0; i < reference.log.size(); ++i) {
+      EXPECT_EQ(batched_lut.log[i].rx_id, reference.log[i].rx_id);
+      EXPECT_EQ(batched_lut.log[i].t_us, reference.log[i].t_us);
+      EXPECT_EQ(batched_lut.log[i].channel, reference.log[i].channel);
+      EXPECT_LE(std::abs(batched_lut.log[i].rssi_dbm -
+                         reference.log[i].rssi_dbm),
+                bound_lut.max_error_db() + 1e-12);
+    }
+  }
+}
+
+TEST(MediumEquivalence, LossyRunsAreBitIdenticalAcrossPipelines) {
+  // With fault injection on, every pipeline takes the exact-math road for
+  // the erasure draw, so lossy runs must agree bit for bit — RSSI, loss
+  // pattern, and counters alike.
+  for (const std::uint64_t seed : {5u, 6u}) {
+    const auto script = make_fuzz_script(seed, 300);
+    FuzzRig reference(fuzz_config(false, false, false, true, true));
+    FuzzRig batched(fuzz_config(true, true, true, true, true));
+    FuzzRig scan(fuzz_config(false, false, false, false, true));
+    replay(reference, script);
+    replay(batched, script);
+    replay(scan, script);
+    EXPECT_EQ(reference.log, batched.log) << "seed " << seed;
+    EXPECT_EQ(reference.log, scan.log) << "seed " << seed;
+    EXPECT_EQ(reference.medium.frames_lost(), batched.medium.frames_lost());
+    EXPECT_EQ(reference.medium.drops(), batched.medium.drops());
+    EXPECT_EQ(reference.medium.retries(), batched.medium.retries());
+  }
+}
+
+// --- Pair pathloss cache ---
+
+TEST(MediumPairCache, EpochInvalidationOnMoveAndExactValues) {
+  // LUT off + cache on: cached RSSI must equal the exact model bitwise,
+  // before and after the receiver moves (the move bumps its link epoch and
+  // must invalidate the pair entry).
+  Medium::Config cfg;
+  cfg.pathloss_lut = false;
+  EventQueue events;
+  Medium medium(events, cfg);
+  Rng rng(3);
+
+  Collector rx;
+  auto ap = medium.attach({0, 0}, 6, 20.0);
+  auto phone = medium.attach({30, 0}, 6, 15.0, &rx);
+  const auto beacon =
+      dot11::make_broadcast_probe_request(MacAddress::random_local(rng));
+
+  ap.transmit(beacon);
+  events.run_all();
+  ASSERT_EQ(rx.infos.size(), 1u);
+  EXPECT_EQ(medium.pathloss_cache_misses(), 1u);
+  EXPECT_EQ(medium.pathloss_cache_hits(), 0u);
+  EXPECT_DOUBLE_EQ(rx.infos[0].rssi_dbm,
+                   medium.propagation().rx_power_dbm(20.0, 30.0));
+
+  ap.transmit(beacon);  // static pair: second beacon hits the cache
+  events.run_all();
+  ASSERT_EQ(rx.infos.size(), 2u);
+  EXPECT_EQ(medium.pathloss_cache_hits(), 1u);
+  EXPECT_DOUBLE_EQ(rx.infos[1].rssi_dbm, rx.infos[0].rssi_dbm);
+
+  phone.set_position({50, 0});  // invalidates every entry touching the phone
+  ap.transmit(beacon);
+  events.run_all();
+  ASSERT_EQ(rx.infos.size(), 3u);
+  EXPECT_EQ(medium.pathloss_cache_misses(), 2u);
+  EXPECT_EQ(medium.pathloss_cache_hits(), 1u);
+  EXPECT_DOUBLE_EQ(rx.infos[2].rssi_dbm,
+                   medium.propagation().rx_power_dbm(20.0, 50.0));
+  (void)phone;
+}
+
+TEST(MediumPairCache, TxPowerChangeInvalidatesWithoutMove) {
+  Medium::Config cfg;
+  cfg.pathloss_lut = false;
+  EventQueue events;
+  Medium medium(events, cfg);
+  Rng rng(4);
+
+  Collector rx;
+  auto ap = medium.attach({0, 0}, 6, 20.0);
+  medium.attach({25, 0}, 6, 15.0, &rx);
+  const auto beacon =
+      dot11::make_broadcast_probe_request(MacAddress::random_local(rng));
+
+  ap.transmit(beacon);
+  events.run_all();
+  ap.set_tx_power_dbm(17.0);  // entry keyed by tx power: stale value unusable
+  ap.transmit(beacon);
+  events.run_all();
+  ASSERT_EQ(rx.infos.size(), 2u);
+  EXPECT_DOUBLE_EQ(rx.infos[0].rssi_dbm,
+                   medium.propagation().rx_power_dbm(20.0, 25.0));
+  EXPECT_DOUBLE_EQ(rx.infos[1].rssi_dbm,
+                   medium.propagation().rx_power_dbm(17.0, 25.0));
+  EXPECT_EQ(medium.pathloss_cache_misses(), 2u);
 }
 
 }  // namespace
