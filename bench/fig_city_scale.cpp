@@ -11,12 +11,18 @@
 // pipelines are behaviorally interchangeable — and the batched/grid ratio
 // is the PR's ≥3x acceptance number at 10k radios.
 //
+// A second table sweeps the intra-run fanout: SIMD off vs on, then 2/4/8
+// sharding workers, each run checked delivery-identical to the serial
+// baseline and reported as deliveries/s + speedup per worker count.
+//
 // Usage: fig_city_scale [--smoke]
-//   --smoke: one small size (2k radios, 2 s), used by ctest -L perf.
+//   --smoke: one small size (2k radios, 2 s, 2-worker sweep), used by
+//   ctest -L perf.
 #include "bench_common.h"
 #include "city_scale.h"
 
 #include <cstring>
+#include <thread>
 
 namespace {
 
@@ -38,6 +44,18 @@ Medium::Config grid_config() {
 Medium::Config scan_config() {
   Medium::Config cfg = grid_config();
   cfg.spatial_grid = false;
+  return cfg;
+}
+
+Medium::Config no_simd_config() {
+  Medium::Config cfg;
+  cfg.simd_fanout = false;
+  return cfg;
+}
+
+Medium::Config workers_config(int workers) {
+  Medium::Config cfg;
+  cfg.intra_run_workers = workers;
   return cfg;
 }
 
@@ -80,6 +98,51 @@ void run_size(int radios, double sim_s, bool with_scan) {
       hit_rate * 100.0);
 }
 
+// Intra-run scaling: the same district once per worker count, every run
+// checked delivery-identical to the serial baseline (the sharded merge must
+// reorder nothing). Counts above the hardware are measured anyway — the
+// oversubscription penalty belongs in the figure — but flagged, since their
+// wall-clock says nothing about the speedup acceptance number.
+void run_scaling(int radios, double sim_s, bool smoke) {
+  CityScaleParams params;
+  params.radios = radios;
+  params.duration = cityhunter::support::SimTime::seconds(sim_s);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // One untimed pass first: the scalar/SIMD delta is a few tens of percent,
+  // small enough for cold caches and CPU frequency ramp to swamp it.
+  (void)run_city_scale(params, batched_config());
+
+  const CityScaleResult simd = run_city_scale(params, batched_config());
+  const CityScaleResult scalar = run_city_scale(params, no_simd_config());
+  check_equal("no-simd transmissions", simd.transmissions,
+              scalar.transmissions);
+  check_equal("no-simd deliveries", simd.deliveries, scalar.deliveries);
+  std::printf(
+      "\n  intra-run scaling at %d radios (%u hardware threads)\n"
+      "  config     | wall     | speedup | throughput | identical\n"
+      "  scalar     | %8.3fs | %6.2fx | %9.3gM/s | yes\n"
+      "  simd       | %8.3fs | %6.2fx | %9.3gM/s | yes\n",
+      radios, hw, scalar.wall_s, 1.0, scalar.deliveries_per_s / 1e6,
+      simd.wall_s, simd.wall_s > 0.0 ? scalar.wall_s / simd.wall_s : 0.0,
+      simd.deliveries_per_s / 1e6);
+
+  for (const int workers : smoke ? std::vector<int>{2}
+                                 : std::vector<int>{2, 4, 8}) {
+    const CityScaleResult sharded =
+        run_city_scale(params, workers_config(workers));
+    check_equal("sharded transmissions", simd.transmissions,
+                sharded.transmissions);
+    check_equal("sharded deliveries", simd.deliveries, sharded.deliveries);
+    std::printf("  %d workers%s | %8.3fs | %6.2fx | %9.3gM/s | yes\n",
+                workers,
+                static_cast<unsigned>(workers) > hw ? " (oversub)" : "",
+                sharded.wall_s,
+                sharded.wall_s > 0.0 ? simd.wall_s / sharded.wall_s : 0.0,
+                sharded.deliveries_per_s / 1e6);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,10 +156,12 @@ int main(int argc, char** argv) {
       "cache hit\n");
   if (smoke) {
     run_size(2000, 2.0, /*with_scan=*/true);
+    run_scaling(2000, 2.0, /*smoke=*/true);
   } else {
     run_size(5000, 5.0, /*with_scan=*/true);
     run_size(10000, 5.0, /*with_scan=*/false);
     run_size(20000, 3.0, /*with_scan=*/false);
+    run_scaling(10000, 3.0, /*smoke=*/false);
   }
   if (g_failures != 0) {
     std::printf("FAILED: %d pipeline mismatches\n", g_failures);

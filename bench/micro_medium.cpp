@@ -5,7 +5,12 @@
 // ~60 m, so receiver culling dominates the fanout cost.
 //
 //   Batched      — SoA gather, slot-ordered merge (no per-frame sort),
-//                  squared-distance filter, path-loss LUT + pair cache.
+//                  squared-distance filter (AVX2 when the CPU has it),
+//                  path-loss LUT + pair cache.
+//   BatchedNoSimd — same with Config::simd_fanout off: prices the vector
+//                  gather/filter + LUT lanes against the scalar loops.
+//   BatchedShardedN — same as Batched plus N intra-run workers with
+//                  shard_min_candidates = 0, pricing the fork-join.
 //   BatchedNoCache — same, pair cache off: prices the cache separately.
 //   Grid         — the pre-PR reference: grid gather + std::sort by id +
 //                  exact hypot/log10 per candidate.
@@ -37,13 +42,29 @@ class CountingSink : public FrameSink {
   std::uint64_t frames = 0;
 };
 
-enum class Mode { kBatched, kBatchedNoCache, kGrid, kLegacyScan };
+enum class Mode {
+  kBatched,
+  kBatchedNoSimd,
+  kBatchedSharded,
+  kBatchedNoCache,
+  kGrid,
+  kLegacyScan
+};
 
-Medium::Config mode_config(Mode mode) {
+Medium::Config mode_config(Mode mode, int workers) {
   Medium::Config cfg;
+  cfg.intra_run_workers = workers;
   switch (mode) {
     case Mode::kBatched:
-      break;  // defaults: grid + batched fanout + LUT + pair cache
+      break;  // defaults: grid + batched fanout + SIMD + LUT + pair cache
+    case Mode::kBatchedNoSimd:
+      cfg.simd_fanout = false;  // scalar gather/filter, same results
+      break;
+    case Mode::kBatchedSharded:
+      // Shard every fanout, even small ones: the point is to price the
+      // fork-join overhead against the SIMD fanout at this crowd size.
+      cfg.shard_min_candidates = 0;
+      break;
     case Mode::kBatchedNoCache:
       cfg.pathloss_cache = false;
       break;
@@ -69,7 +90,8 @@ struct Crowd {
   std::vector<Radio> receivers;
   Radio tx;
 
-  Crowd(int radios, Mode mode) : medium(events, mode_config(mode)) {
+  Crowd(int radios, Mode mode, int workers)
+      : medium(events, mode_config(mode, workers)) {
     support::Rng rng(7);
     for (int i = 0; i < radios; ++i) {
       receivers.push_back(medium.attach(
@@ -80,8 +102,9 @@ struct Crowd {
   }
 };
 
-void deliver_loop(benchmark::State& state, Mode mode, bool move) {
-  Crowd crowd(static_cast<int>(state.range(0)), mode);
+void deliver_loop(benchmark::State& state, Mode mode, bool move,
+                  int workers = 1) {
+  Crowd crowd(static_cast<int>(state.range(0)), mode, workers);
   support::Rng rng(11);
   const auto frame = dot11::make_probe_response(
       dot11::MacAddress::random_local(rng), dot11::MacAddress::random_local(rng),
@@ -112,6 +135,23 @@ void deliver_loop(benchmark::State& state, Mode mode, bool move) {
 void BM_DeliverBatched(benchmark::State& state) {
   deliver_loop(state, Mode::kBatched, /*move=*/false);
 }
+void BM_DeliverBatchedNoSimd(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedNoSimd, /*move=*/false);
+}
+// Sharded fanout at 2/4/8 intra-run workers. delivered_per_tx stays
+// identical to every other mode — the merge reorders nothing — while the
+// time column shows where fork-join overhead crosses into profit on this
+// machine. Worker counts beyond the hardware are still measured (the
+// helpers time-slice) so the oversubscription penalty is visible too.
+void BM_DeliverBatchedSharded2(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedSharded, /*move=*/false, /*workers=*/2);
+}
+void BM_DeliverBatchedSharded4(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedSharded, /*move=*/false, /*workers=*/4);
+}
+void BM_DeliverBatchedSharded8(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedSharded, /*move=*/false, /*workers=*/8);
+}
 void BM_DeliverBatchedNoCache(benchmark::State& state) {
   deliver_loop(state, Mode::kBatchedNoCache, /*move=*/false);
 }
@@ -129,6 +169,10 @@ void BM_DeliverGridMoving(benchmark::State& state) {
 }
 
 BENCHMARK(BM_DeliverBatched)->Arg(100)->Arg(1000)->Arg(4000)->Arg(10000);
+BENCHMARK(BM_DeliverBatchedNoSimd)->Arg(1000)->Arg(4000)->Arg(10000);
+BENCHMARK(BM_DeliverBatchedSharded2)->Arg(4000)->Arg(10000);
+BENCHMARK(BM_DeliverBatchedSharded4)->Arg(4000)->Arg(10000);
+BENCHMARK(BM_DeliverBatchedSharded8)->Arg(10000);
 BENCHMARK(BM_DeliverBatchedNoCache)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_DeliverGrid)->Arg(100)->Arg(1000)->Arg(4000)->Arg(10000);
 BENCHMARK(BM_DeliverLegacyScan)->Arg(100)->Arg(1000)->Arg(4000);

@@ -24,7 +24,9 @@
 // before/after pair. Heap allocations over the serial loop are counted
 // (bench/alloc_counter.h) and reported per delivered frame. A city-scale
 // district (bench/city_scale.h) is timed last: batched SoA pipeline vs the
-// pre-PR grid reference.
+// pre-PR grid reference, plus the intra-run fanout trajectory (scalar vs
+// SIMD, then 2/4/8 sharding workers up to the hardware) recorded under
+// city_scale.intra_run with per-entry delivery-identity flags.
 //
 // Usage: wallclock [slot_minutes]
 //   slot_minutes — simulated minutes per slot (default 10; the paper's
@@ -337,7 +339,48 @@ int main(int argc, char** argv) {
          << ", \"batched_speedup\": " << cs_speedup
          << ", \"deliveries_per_s\": " << batched.deliveries_per_s
          << ", \"pathloss_cache_hit_rate\": " << cs_hit_rate
-         << ", \"identical\": " << (agree ? "true" : "false") << "}\n";
+         << ", \"identical\": " << (agree ? "true" : "false") << ",\n";
+
+    // Intra-run fanout trajectory on the same district: scalar vs SIMD at
+    // one worker, then sharded worker counts the hardware can actually host
+    // (oversubscribed counts follow the sweep policy above and are
+    // dropped). Speedups are against the scalar serial run, so one column
+    // tells the whole intra-run story: vector lanes first, then threads.
+    struct IntraEntry {
+      int workers;
+      bool simd;
+      bench::CityScaleResult r;
+    };
+    medium::Medium::Config scalar_cfg;
+    scalar_cfg.simd_fanout = false;
+    std::vector<IntraEntry> intra;
+    intra.push_back({1, false, bench::run_city_scale(params, scalar_cfg)});
+    intra.push_back({1, true, batched});
+    for (const int workers : {2, 4, 8}) {
+      if (static_cast<std::size_t>(workers) > hardware_threads) continue;
+      medium::Medium::Config cfg;
+      cfg.intra_run_workers = workers;
+      intra.push_back({workers, true, bench::run_city_scale(params, cfg)});
+    }
+    const double scalar_wall_s = intra.front().r.wall_s;
+    json << "    \"intra_run\": [";
+    for (std::size_t i = 0; i < intra.size(); ++i) {
+      const IntraEntry& e = intra[i];
+      const bool same = e.r.transmissions == batched.transmissions &&
+                        e.r.deliveries == batched.deliveries;
+      all_identical = all_identical && same;
+      const double sp = e.r.wall_s > 0.0 ? scalar_wall_s / e.r.wall_s : 0.0;
+      std::printf("  intra-run: %d worker%s %-6s — %.3f s (%.2fx vs scalar)"
+                  "   %s\n",
+                  e.workers, e.workers == 1 ? " " : "s",
+                  e.simd ? "simd" : "scalar", e.r.wall_s, sp,
+                  same ? "deliveries identical" : "DELIVERY MISMATCH");
+      json << (i == 0 ? "" : ",") << "\n      {\"workers\": " << e.workers
+           << ", \"simd\": " << (e.simd ? "true" : "false")
+           << ", \"wall_s\": " << e.r.wall_s << ", \"speedup\": " << sp
+           << ", \"identical\": " << (same ? "true" : "false") << "}";
+    }
+    json << "\n    ]}\n";
   }
   json << "}\n";
 

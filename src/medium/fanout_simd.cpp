@@ -1,0 +1,252 @@
+#include "medium/fanout_simd.h"
+
+#include <bit>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace cityhunter::medium {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference paths. These mirror Medium::deliver_batched's original
+// loops operation for operation; the AVX2 kernels below replicate them lane
+// for lane, and the SIMD-vs-scalar fuzz tests hold both to byte identity.
+
+std::size_t filter_scalar(const std::uint32_t* slots, const double* xs,
+                          const double* ys, const std::uint16_t* keys,
+                          std::size_t n, double tx_x, double tx_y,
+                          double range_sq, std::uint16_t want,
+                          std::uint32_t self_slot, FanoutCandidate* out) {
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keys[i] != want) continue;
+    if (slots[i] == self_slot) continue;
+    const double dx = xs[i] - tx_x;
+    const double dy = ys[i] - tx_y;
+    const double dist_sq = dx * dx + dy * dy;
+    if (!(dist_sq <= range_sq)) continue;  // NaN-rejecting, like the filter
+    out[written].slot = slots[i];
+    out[written].dist_sq = dist_sq;
+    out[written].x = xs[i];
+    out[written].y = ys[i];
+    ++written;
+  }
+  return written;
+}
+
+void lut_eval_scalar(const PathLossLut& lut, double tx_dbm,
+                     FanoutCandidate* cand, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    cand[i].rx_dbm = lut.rx_power_dbm_sq(tx_dbm, cand[i].dist_sq);
+  }
+}
+
+#if defined(__x86_64__)
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with a per-function target attribute so the rest of
+// ch_medium stays baseline x86-64; selected at runtime via
+// __builtin_cpu_supports. No FMA anywhere — the chord evaluation must match
+// the scalar `g.a + g.b * dist_sq` (compiled without contraction) bit for
+// bit, and vfmadd would keep the intermediate product in infinite precision.
+//
+// Each kernel ends with an explicit _mm256_zeroupper() before running any
+// scalar-tail or caller code. GCC's automatic vzeroupper insertion pass does
+// not run for per-function target("avx2") attributes (it is keyed off the
+// command-line -mavx), so without this the kernels return with dirty YMM
+// uppers and every legacy-SSE instruction afterwards — the scalar tail, the
+// delivery loop, libm — pays the AVX↔SSE state-transition penalty. Measured
+// here: ~170 ns of flat overhead per kernel call, which swamped the vector
+// win at fanout-sized inputs (tens of candidates per call).
+
+__attribute__((target("avx2"))) std::size_t filter_avx2(
+    const std::uint32_t* slots, const double* xs, const double* ys,
+    const std::uint16_t* keys, std::size_t n, double tx_x, double tx_y,
+    double range_sq, std::uint16_t want, std::uint32_t self_slot,
+    FanoutCandidate* out) {
+  std::size_t written = 0;
+  const __m256d vtx = _mm256_set1_pd(tx_x);
+  const __m256d vty = _mm256_set1_pd(tx_y);
+  const __m256d vrange = _mm256_set1_pd(range_sq);
+  const __m128i vwant = _mm_set1_epi16(static_cast<short>(want));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // 4 x uint16 listening keys -> per-lane match mask (bit 2j of the
+    // 16-bit-element movemask is set iff lane j's key equals `want`; a match
+    // sets bits 2j and 2j+1, so popcount/2 counts matching lanes).
+    const __m128i vkeys = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(keys + i));
+    const int keymask =
+        _mm_movemask_epi8(_mm_cmpeq_epi16(vkeys, vwant)) & 0xFF;
+    if (keymask == 0) continue;  // whole block tuned out / detached
+
+    // Off-channel radios share the buckets, so at city channel mixes most
+    // blocks carry zero or one matching lane. The 256-bit distance math only
+    // pays for itself from two lanes up — below that, run the scalar body on
+    // the single match (identical op order, so still bit-identical) and keep
+    // the 256-bit op density low: on license-throttling CPUs every avoided
+    // ymm block also protects the clock of the scalar delivery code around
+    // the kernel.
+    if (std::popcount(static_cast<unsigned>(keymask)) == 2) {
+      // Exactly one matching lane (each match sets two movemask bits).
+      const int j = std::countr_zero(static_cast<unsigned>(keymask)) / 2;
+      const std::uint32_t slot = slots[i + j];
+      if (slot == self_slot) continue;
+      const double dx = xs[i + j] - tx_x;
+      const double dy = ys[i + j] - tx_y;
+      const double dist_sq = dx * dx + dy * dy;
+      if (!(dist_sq <= range_sq)) continue;
+      out[written].slot = slot;
+      out[written].dist_sq = dist_sq;
+      out[written].x = xs[i + j];
+      out[written].y = ys[i + j];
+      ++written;
+      continue;
+    }
+
+    const __m256d vx = _mm256_loadu_pd(xs + i);
+    const __m256d vy = _mm256_loadu_pd(ys + i);
+    // Same op order as the scalar path: sub, mul, mul, add.
+    const __m256d dx = _mm256_sub_pd(vx, vtx);
+    const __m256d dy = _mm256_sub_pd(vy, vty);
+    const __m256d dist_sq =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    // Ordered <= : NaN lanes compare false, matching `!(d² <= range²)`.
+    const int inrange = _mm256_movemask_pd(
+        _mm256_cmp_pd(dist_sq, vrange, _CMP_LE_OQ));
+    if (inrange == 0) continue;
+
+    alignas(32) double d2[4];
+    _mm256_store_pd(d2, dist_sq);
+    for (int j = 0; j < 4; ++j) {
+      if ((inrange & (1 << j)) == 0) continue;
+      if ((keymask & (1 << (2 * j))) == 0) continue;
+      const std::uint32_t slot = slots[i + j];
+      if (slot == self_slot) continue;
+      out[written].slot = slot;
+      out[written].dist_sq = d2[j];
+      out[written].x = xs[i + j];
+      out[written].y = ys[i + j];
+      ++written;
+    }
+  }
+  _mm256_zeroupper();
+  written += filter_scalar(slots + i, xs + i, ys + i, keys + i, n - i, tx_x,
+                           tx_y, range_sq, want, self_slot, out + written);
+  return written;
+}
+
+__attribute__((target("avx2"))) void lut_eval_avx2(const PathLossLut& lut,
+                                                   double tx_dbm,
+                                                   FanoutCandidate* cand,
+                                                   std::size_t n) {
+  const PathLossLut::Seg* seg = lut.segments();
+  const long long seg_count = static_cast<long long>(lut.segment_count());
+  const __m256d vtx = _mm256_set1_pd(tx_dbm);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vref = _mm256_set1_pd(tx_dbm - lut.reference_loss_db());
+  const __m256i vbias = _mm256_set1_epi64x(
+      static_cast<long long>(std::uint64_t{1023} << PathLossLut::kSegBitsLog2));
+  const __m256i vmax = _mm256_set1_epi64x(seg_count - 1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    alignas(32) double d2[4];
+    for (int j = 0; j < 4; ++j) d2[j] = cand[i + j].dist_sq;
+    const __m256d dist_sq = _mm256_load_pd(d2);
+
+    // Segment index from the double's bit pattern, exactly as the scalar
+    // lookup: (bits >> (52 - k)) - (1023 << k), clamped to the top segment.
+    // Shifted exponents are far below 2^63, so signed 64-bit compare is safe.
+    const __m256i bits = _mm256_castpd_si256(dist_sq);
+    __m256i idx = _mm256_sub_epi64(
+        _mm256_srli_epi64(bits, 52 - PathLossLut::kSegBitsLog2), vbias);
+    idx = _mm256_blendv_epi8(idx, vmax, _mm256_cmpgt_epi64(idx, vmax));
+    // Lanes with d² <= 1 m² have a *negative* biased index; their result is
+    // replaced by the reference clamp below, but the gather must still stay
+    // in bounds — zero those indices.
+    idx = _mm256_andnot_si256(
+        _mm256_cmpgt_epi64(_mm256_setzero_si256(), idx), idx);
+
+    // Seg is {a, b} = 16 bytes: gather a from idx*2 doubles, b from idx*2+1.
+    const __m256i idx2 = _mm256_slli_epi64(idx, 1);
+    const double* base = &seg->a;
+    const __m256d a = _mm256_i64gather_pd(base, idx2, 8);
+    const __m256d b = _mm256_i64gather_pd(
+        base, _mm256_add_epi64(idx2, _mm256_set1_epi64x(1)), 8);
+    // mul then add (no FMA) to match the scalar chord bit for bit.
+    const __m256d rx =
+        _mm256_sub_pd(vtx, _mm256_add_pd(a, _mm256_mul_pd(b, dist_sq)));
+
+    // d² <= 1 m² lanes clamp to the reference loss, same as the scalar
+    // lookup's early return; the segment gathered for them (index 0) is
+    // discarded here.
+    const __m256d small = _mm256_cmp_pd(dist_sq, vone, _CMP_LE_OQ);
+    const __m256d result = _mm256_blendv_pd(rx, vref, small);
+
+    alignas(32) double outv[4];
+    _mm256_store_pd(outv, result);
+    for (int j = 0; j < 4; ++j) cand[i + j].rx_dbm = outv[j];
+  }
+  _mm256_zeroupper();
+  lut_eval_scalar(lut, tx_dbm, cand + i, n - i);
+}
+
+bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool detect_avx2() { return false; }
+
+#endif  // __x86_64__
+
+// Below this many elements the AVX2 kernels lose to the scalar loops: the
+// vector body covers at most three 4-lane blocks while the call still pays
+// the YMM dirty/clean round trip (vzeroupper plus the first 256-bit op's
+// state transition). Measured on the fanout filter: the vector path wins
+// ~1.6x at 12 elements and is parity at 8, so 12 is the crossover. Dispatch
+// below the threshold is invisible to callers — both paths are bit-identical
+// by construction.
+constexpr std::size_t kSimdMinElems = 12;
+
+}  // namespace
+
+bool fanout_simd_available() {
+  static const bool available = detect_avx2();
+  return available;
+}
+
+std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
+                          const double* ys, const std::uint16_t* keys,
+                          std::size_t n, double tx_x, double tx_y,
+                          double range_sq, std::uint16_t want,
+                          std::uint32_t self_slot, bool use_simd,
+                          FanoutCandidate* out) {
+#if defined(__x86_64__)
+  if (use_simd && n >= kSimdMinElems && fanout_simd_available()) {
+    return filter_avx2(slots, xs, ys, keys, n, tx_x, tx_y, range_sq, want,
+                       self_slot, out);
+  }
+#else
+  (void)use_simd;
+#endif
+  return filter_scalar(slots, xs, ys, keys, n, tx_x, tx_y, range_sq, want,
+                       self_slot, out);
+}
+
+void fanout_lut_eval(const PathLossLut& lut, double tx_dbm,
+                     FanoutCandidate* cand, std::size_t n, bool use_simd) {
+#if defined(__x86_64__)
+  if (use_simd && n >= kSimdMinElems && fanout_simd_available()) {
+    lut_eval_avx2(lut, tx_dbm, cand, n);
+    return;
+  }
+#else
+  (void)use_simd;
+#endif
+  lut_eval_scalar(lut, tx_dbm, cand, n);
+}
+
+}  // namespace cityhunter::medium

@@ -1,0 +1,76 @@
+// 4-wide vector kernels for the batched delivery fanout.
+//
+// The two branch-light, per-candidate-independent stages of
+// Medium::deliver_batched run here: the gather/filter (fused listening-key
+// compare + squared-distance test against range²) and the d²-domain
+// path-loss LUT evaluation for survivors. Both have an AVX2 implementation
+// compiled behind a per-function target attribute (no special build flags
+// needed; the scalar rest of ch_medium stays baseline x86-64) and a portable
+// scalar fallback. Dispatch is one cached CPU check at startup.
+//
+// Bit-identity contract: the vector lanes perform exactly the scalar
+// operation sequence — subtract, two multiplies, one add for d²; multiply
+// then add (never FMA) for the LUT chord — so SIMD and scalar runs produce
+// byte-identical survivor sets and RX powers. The fuzz tests in
+// tests/medium_test.cpp enforce this, which is what lets Config::simd_fanout
+// default to on without perturbing any golden number.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "medium/propagation.h"
+
+namespace cityhunter::medium {
+
+/// One in-range fanout survivor, in bucket (== slot == radio-id) order.
+///
+/// Deliberately trivially default-constructible (no member initializers):
+/// the shard scratch resizes its survivor vector to the candidate count
+/// before each filter call and lets the kernels overwrite only the
+/// survivors. With default initializers, that resize would value-initialize
+/// — memset 40 bytes per candidate per fanout — pure waste on the hot path.
+struct FanoutCandidate {
+  std::uint32_t slot;
+  double dist_sq;
+  /// Receiver position frozen at gather time. Delivery semantics fix the
+  /// receiver set and link budget when the transmission fans out, so the
+  /// exact-math RX power must come from this snapshot — a sink callback
+  /// moving the radio mid-fanout must not change what this frame measures.
+  double x;
+  double y;
+  /// Precomputed LUT RX power; only meaningful when the fault-free LUT
+  /// precompute stage ran (see deliver_batched).
+  double rx_dbm;
+};
+static_assert(std::is_trivially_default_constructible_v<FanoutCandidate>);
+
+/// True when the AVX2 path is compiled in and this CPU supports it.
+bool fanout_simd_available();
+
+/// Filter one slot-sorted bucket slice: for each index i < n, accept when
+/// keys[i] == want, slots[i] != self_slot and (x,y) lies within range_sq of
+/// (tx_x, tx_y) in the squared-distance domain (NaN rejects, matching the
+/// scalar `!(d² <= range²)` test). Survivors are appended to `out` (which
+/// must have room for n) in input order with their gathered d² and frozen
+/// (x, y). Returns the number written. `use_simd` selects the vector path
+/// when the CPU has it and n is large enough to amortize the AVX entry cost
+/// (small slices run the scalar loop regardless); results are bit-identical
+/// either way, so the dispatch choice is invisible.
+std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
+                          const double* ys, const std::uint16_t* keys,
+                          std::size_t n, double tx_x, double tx_y,
+                          double range_sq, std::uint16_t want,
+                          std::uint32_t self_slot, bool use_simd,
+                          FanoutCandidate* out);
+
+/// Evaluate the path-loss LUT for n survivors: cand[i].rx_dbm =
+/// lut.rx_power_dbm_sq(tx_dbm, cand[i].dist_sq), including the d² <= 1 m²
+/// reference clamp and the top-segment index clamp. Bit-identical between
+/// the vector and scalar paths. Every cand[i].dist_sq must satisfy
+/// lut.covers() — the caller checks range² once for the whole fanout.
+void fanout_lut_eval(const PathLossLut& lut, double tx_dbm,
+                     FanoutCandidate* cand, std::size_t n, bool use_simd);
+
+}  // namespace cityhunter::medium

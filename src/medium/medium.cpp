@@ -7,6 +7,7 @@
 #include "dot11/serialize.h"
 #include "dot11/timing.h"
 #include "obs/trace.h"
+#include "support/thread_pool.h"
 
 namespace cityhunter::medium {
 
@@ -25,7 +26,23 @@ Medium::Medium(EventQueue& events, Config cfg)
   if (!(cfg_.mgmt_rate_mbps > 0.0)) {
     throw std::invalid_argument("Medium: mgmt_rate_mbps must be positive");
   }
+  if (cfg_.intra_run_workers < 1 || cfg_.intra_run_workers > 16) {
+    throw std::invalid_argument(
+        "Medium: intra_run_workers must be in [1, 16]");
+  }
+  if (cfg_.shard_min_candidates < 0) {
+    throw std::invalid_argument(
+        "Medium: shard_min_candidates must be non-negative");
+  }
+  use_simd_ = cfg_.simd_fanout && fanout_simd_available();
+  shard_scratch_.resize(static_cast<std::size_t>(cfg_.intra_run_workers));
+  if (cfg_.intra_run_workers > 1) {
+    team_ = std::make_unique<support::TaskTeam>(
+        static_cast<std::size_t>(cfg_.intra_run_workers - 1));
+  }
 }
+
+Medium::~Medium() = default;
 
 Radio Medium::attach(Position pos, std::uint8_t channel, double tx_power_dbm,
                      FrameSink* sink) {
@@ -109,14 +126,24 @@ std::uint64_t Medium::cell_of(Position pos) const {
 void Medium::grid_insert(std::uint32_t slot, RadioState& st) {
   st.cell = cell_of(st.pos);
   st.in_grid = true;
-  auto& bucket = cells_[st.cell];
+  Bucket& b = cells_[st.cell];
   // Sorted insert keeps every bucket in ascending slot order for the merge
-  // fanout. A freshly attached slot is the global maximum, so the common
-  // case is an O(1) append; only cell migration pays the shift.
-  if (bucket.empty() || bucket.back() < slot) {
-    bucket.push_back(slot);
+  // fanout; position and listening key ride along at the same index so the
+  // filter kernels stream the bucket without touching the global SoA. A
+  // freshly attached slot is the global maximum, so the common case is an
+  // O(1) append; only cell migration pays the shift.
+  if (b.slots.empty() || b.slots.back() < slot) {
+    b.slots.push_back(slot);
+    b.xs.push_back(soa_x_[slot]);
+    b.ys.push_back(soa_y_[slot]);
+    b.keys.push_back(soa_key_[slot]);
   } else {
-    bucket.insert(std::lower_bound(bucket.begin(), bucket.end(), slot), slot);
+    const auto it = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
+    const std::size_t idx = static_cast<std::size_t>(it - b.slots.begin());
+    b.slots.insert(it, slot);
+    b.xs.insert(b.xs.begin() + idx, soa_x_[slot]);
+    b.ys.insert(b.ys.begin() + idx, soa_y_[slot]);
+    b.keys.insert(b.keys.begin() + idx, soa_key_[slot]);
   }
 }
 
@@ -124,12 +151,28 @@ void Medium::grid_erase(RadioState& st, std::uint32_t slot) {
   if (!st.in_grid) return;
   auto it = cells_.find(st.cell);
   if (it != cells_.end()) {
-    auto& bucket = it->second;
-    const auto pos = std::lower_bound(bucket.begin(), bucket.end(), slot);
-    if (pos != bucket.end() && *pos == slot) bucket.erase(pos);
-    if (bucket.empty()) cells_.erase(it);
+    Bucket& b = it->second;
+    const auto pos = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
+    if (pos != b.slots.end() && *pos == slot) {
+      const std::size_t idx = static_cast<std::size_t>(pos - b.slots.begin());
+      b.slots.erase(pos);
+      b.xs.erase(b.xs.begin() + idx);
+      b.ys.erase(b.ys.begin() + idx);
+      b.keys.erase(b.keys.begin() + idx);
+    }
+    if (b.slots.empty()) cells_.erase(it);
   }
   st.in_grid = false;
+}
+
+void Medium::bucket_sync_key(std::uint32_t slot) {
+  const auto it = cells_.find(slots_[slot].cell);
+  if (it == cells_.end()) return;
+  Bucket& b = it->second;
+  const auto pos = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
+  if (pos != b.slots.end() && *pos == slot) {
+    b.keys[static_cast<std::size_t>(pos - b.slots.begin())] = soa_key_[slot];
+  }
 }
 
 void Medium::grid_rebuild() {
@@ -179,18 +222,19 @@ const Medium::RangeEntry& Medium::range_for(double tx_power_dbm) {
   return range_cache_.back();
 }
 
-double Medium::survivor_rx_dbm(std::uint32_t rx_slot, double tx_dbm,
-                               double dist_sq, Position tx_pos) const {
+double Medium::survivor_rx_dbm(double tx_dbm, double dist_sq, Position tx_pos,
+                               Position rx_pos) const {
   if (cfg_.pathloss_lut && lut_.covers(dist_sq)) {
     return lut_.rx_power_dbm_sq(tx_dbm, dist_sq);
   }
-  return propagation_.rx_power_dbm(tx_dbm,
-                                   distance(tx_pos, slots_[rx_slot].pos));
+  return propagation_.rx_power_dbm(tx_dbm, distance(tx_pos, rx_pos));
 }
 
 double Medium::pair_cached_rx_dbm(std::uint32_t tx_slot,
                                   std::uint32_t rx_slot, double tx_dbm,
-                                  double dist_sq, Position tx_pos) {
+                                  double dist_sq, Position tx_pos,
+                                  Position rx_pos,
+                                  const double* precomputed) {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(tx_slot) << 32) | rx_slot;
   // SplitMix-style finalizer spreads adjacent slot pairs across the table.
@@ -207,12 +251,24 @@ double Medium::pair_cached_rx_dbm(std::uint32_t tx_slot,
     return e.rx_dbm;
   }
   ++pathloss_cache_misses_;
-  const double rx = survivor_rx_dbm(rx_slot, tx_dbm, dist_sq, tx_pos);
-  e.key = key;
-  e.tx_dbm = tx_dbm;
-  e.rx_dbm = rx;
-  e.tx_epoch = te;
-  e.rx_epoch = re;
+  // The shard stage may have LUT-evaluated this survivor already; the value
+  // is bit-identical to what survivor_rx_dbm would return here.
+  const double rx = precomputed != nullptr
+                        ? *precomputed
+                        : survivor_rx_dbm(tx_dbm, dist_sq, tx_pos, rx_pos);
+  // Store only while the frozen receiver position is still live: a sink
+  // callback moving the radio mid-fanout bumped its epoch already, and
+  // caching this frame's frozen value under the *new* epoch would serve a
+  // stale power to the next fanout. Skipping the store is invisible — the
+  // cache is pure memoization.
+  const Position live = slots_[rx_slot].pos;
+  if (live.x == rx_pos.x && live.y == rx_pos.y) {
+    e.key = key;
+    e.tx_dbm = tx_dbm;
+    e.rx_dbm = rx;
+    e.tx_epoch = te;
+    e.rx_epoch = re;
+  }
   return rx;
 }
 
@@ -228,7 +284,20 @@ void Medium::set_position(RadioId id, Position pos) {
   ++link_epoch_[slot];  // invalidates every pair-cache entry touching us
   if (!cfg_.spatial_grid) return;
   const std::uint64_t key = cell_of(pos);
-  if (st.in_grid && key == st.cell) return;
+  if (st.in_grid && key == st.cell) {
+    // Same cell: refresh the bucket's position mirror in place.
+    const auto it = cells_.find(st.cell);
+    if (it != cells_.end()) {
+      Bucket& b = it->second;
+      const auto p = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
+      if (p != b.slots.end() && *p == slot) {
+        const std::size_t idx = static_cast<std::size_t>(p - b.slots.begin());
+        b.xs[idx] = pos.x;
+        b.ys[idx] = pos.y;
+      }
+    }
+    return;
+  }
   grid_erase(st, slot);
   grid_insert(slot, st);
 }
@@ -396,17 +465,71 @@ void Medium::finish_transmission(Transmission& t) {
           t.fault_rng ? &*t.fault_rng : nullptr);
 }
 
+void Medium::run_shard_chunk(const ShardJob& job, std::size_t chunk,
+                             ShardScratch& scratch) const {
+  scratch.cand.clear();
+  scratch.nruns = 0;
+  const std::size_t lo = job.split[chunk];
+  const std::size_t hi = job.split[chunk + 1];
+  // The ≤9 bucket slices live in separate heap blocks, so the filter's first
+  // touch of each is a cold line: profiled at city scale, memory latency —
+  // not arithmetic — dominates the per-slice cost. Kick off the next slice's
+  // key/coordinate loads while the current one filters.
+  const auto prefetch_bucket = [](const Bucket& b) {
+    __builtin_prefetch(b.keys.data());
+    __builtin_prefetch(b.xs.data());
+    __builtin_prefetch(b.ys.data());
+  };
+  if (job.nbuckets > 0) prefetch_bucket(*job.buckets[0]);
+  std::size_t base = 0;  // first concatenated index of the current bucket
+  for (int i = 0; i < job.nbuckets && base < hi; ++i) {
+    const Bucket& b = *job.buckets[i];
+    if (i + 1 < job.nbuckets) prefetch_bucket(*job.buckets[i + 1]);
+    const std::size_t count = b.size();
+    const std::size_t from = std::max(lo, base);
+    const std::size_t to = std::min(hi, base + count);
+    base += count;
+    if (from >= to) continue;
+    const std::size_t off = from - (base - count);
+    const std::size_t len = to - from;
+    const std::size_t start = scratch.cand.size();
+    scratch.cand.resize(start + len);
+    const std::size_t got = fanout_filter(
+        b.slots.data() + off, b.xs.data() + off, b.ys.data() + off,
+        b.keys.data() + off, len, job.tx_x, job.tx_y, job.range_sq, job.want,
+        job.self_slot, job.use_simd, scratch.cand.data() + start);
+    scratch.cand.resize(start + got);
+    if (got > 0) {
+      // A chunk is contiguous over the ≤9-bucket probe, so it overlaps at
+      // most 9 bucket slices: runs[9] can never overflow.
+      scratch.runs[scratch.nruns++] = {
+          static_cast<std::uint32_t>(start),
+          static_cast<std::uint32_t>(start + got)};
+    }
+  }
+  if (job.precompute) {
+    fanout_lut_eval(lut_, job.tx_dbm, scratch.cand.data(),
+                    scratch.cand.size(), job.use_simd);
+  }
+}
+
+void Medium::shard_entry(void* ctx, std::size_t helper_index) {
+  ShardJob* job = static_cast<ShardJob*>(ctx);
+  // Helper i owns chunk i + 1; the calling thread runs chunk 0 itself.
+  const std::size_t chunk = helper_index + 1;
+  job->medium->run_shard_chunk(*job, chunk,
+                               job->medium->shard_scratch_[chunk]);
+}
+
 void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
                              std::uint8_t channel, Position tx_pos,
                              double tx_power_dbm, support::Rng* fault_rng) {
-  // Snapshot in-range candidates first: a sink callback may attach/detach
-  // radios or move them. The member scratch vector is reused across calls;
-  // reentrant delivery (a sink pumping the event queue) falls back to a
-  // local.
-  std::vector<BatchCandidate> local;
-  std::vector<BatchCandidate>& cand =
-      deliver_depth_ == 0 ? batch_scratch_ : local;
-  cand.clear();
+  // Survivors are snapshotted into scratch before any sink runs: a sink
+  // callback may attach/detach radios or move them, mutating the buckets
+  // under us. The member scratches are reused across calls; reentrant
+  // delivery (a sink pumping the event queue) falls back to a local scratch
+  // and never shards.
+  const bool nested = deliver_depth_ != 0;
   ++deliver_depth_;
   struct DepthGuard {
     int& depth;
@@ -418,17 +541,15 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
   const std::uint16_t want = static_cast<std::uint16_t>(
       static_cast<std::uint16_t>(channel) + 1);
 
-  // Gather per-cell runs of in-range listeners. One uint16 compare covers
-  // the attached/sink/channel filters (the fused SoA key), and the range
-  // check happens in the squared-distance domain — no sqrt/log10 for
-  // radios that turn out to be out of range. Buckets are slot-sorted, so
-  // each run comes out pre-sorted for the merge below.
-  struct Run {
-    std::uint32_t begin = 0;
-    std::uint32_t end = 0;
-  };
-  Run runs[9];  // the range box spans at most 3x3 cells by construction
-  int nruns = 0;
+  // Collect the candidate buckets of the 3x3 probe. One uint16 compare in
+  // the filter kernel covers the attached/sink/channel filters (the fused
+  // bucket key), and the range check happens in the squared-distance domain
+  // — no sqrt/log10 for radios that turn out to be out of range. Buckets
+  // are slot-sorted, so every filtered slice comes out pre-sorted for the
+  // merge below.
+  const Bucket* buckets[9];  // the range box spans at most 3x3 cells
+  int nbuckets = 0;
+  std::size_t total = 0;
   const std::int64_t cx0 = cell_coord(tx_pos.x - re.box_r);
   const std::int64_t cx1 = cell_coord(tx_pos.x + re.box_r);
   const std::int64_t cy0 = cell_coord(tx_pos.y - re.box_r);
@@ -436,33 +557,86 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
   for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
     for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
       const auto cell = cells_.find(cell_key(cx, cy));
-      if (cell == cells_.end()) continue;
-      const std::uint32_t start = static_cast<std::uint32_t>(cand.size());
-      for (const std::uint32_t slot : cell->second) {
-        if (soa_key_[slot] != want || slot == self) continue;
-        const double dx = soa_x_[slot] - tx_pos.x;
-        const double dy = soa_y_[slot] - tx_pos.y;
-        const double dist_sq = dx * dx + dy * dy;
-        if (!(dist_sq <= re.range_sq)) continue;  // rejects NaN too
-        cand.push_back({slot, dist_sq});
-      }
-      const std::uint32_t end = static_cast<std::uint32_t>(cand.size());
-      if (end > start && nruns < 9) runs[nruns++] = {start, end};
+      if (cell == cells_.end() || cell->second.slots.empty()) continue;
+      buckets[nbuckets++] = &cell->second;
+      total += cell->second.size();
     }
   }
 
-  // Merge the sorted runs by repeated min-pick: candidates come out in
-  // global slot order == radio-id order, so the fanout (and with it the
-  // fault-stream draw order) is bit-identical to the legacy id-sorted path
-  // without any per-frame sort. The run heads live in one flat array the
-  // min-scan reads without indirection; an exhausted run parks at kNoSlot,
-  // which no live slot can beat, so the scan needs no emptiness branches.
-  std::uint32_t head_slot[9];
-  std::uint32_t head_idx[9];
-  for (int i = 0; i < nruns; ++i) {
-    head_idx[i] = runs[i].begin;
-    head_slot[i] = cand[runs[i].begin].slot;
+  ++fanout_stats_.batched_fanouts;
+  (use_simd_ ? fanout_stats_.simd_candidates
+             : fanout_stats_.scalar_candidates) += total;
+
+  ShardJob job;
+  job.medium = this;
+  job.buckets = buckets;
+  job.nbuckets = nbuckets;
+  job.tx_x = tx_pos.x;
+  job.tx_y = tx_pos.y;
+  job.range_sq = re.range_sq;
+  job.tx_dbm = tx_power_dbm;
+  job.want = want;
+  job.self_slot = self;
+  job.use_simd = use_simd_;
+  // Lossy runs always recompute exact RX power at delivery time (the
+  // erasure draw must see bit-identical values to the reference path), so
+  // the LUT precompute only runs fault-free. covers(range_sq) implies
+  // covers(dist_sq) for every survivor — checked once per fanout.
+  job.precompute =
+      fault_rng == nullptr && cfg_.pathloss_lut && lut_.covers(re.range_sq);
+
+  // Shard or stay serial. Chunks split the concatenated bucket elements
+  // evenly; each worker filters (and LUT-evaluates) its chunk into a
+  // private scratch. Chunk boundaries only ever split a sorted bucket slice
+  // into sorted sub-slices, so the merge below — which never assumes how
+  // many runs a bucket contributed — reproduces the exact serial order.
+  std::size_t chunks = 1;
+  if (!nested && team_ != nullptr &&
+      total >= static_cast<std::size_t>(cfg_.shard_min_candidates)) {
+    chunks = team_->helpers() + 1;
   }
+  for (std::size_t k = 0; k <= chunks; ++k) {
+    job.split[k] = total * k / chunks;
+  }
+
+  ShardScratch local;  // only touched by nested (reentrant) delivery
+  ShardScratch* scratches = nested ? &local : shard_scratch_.data();
+  if (chunks > 1) {
+    ++fanout_stats_.sharded_fanouts;
+    fanout_stats_.shard_chunks += chunks;
+    team_->dispatch(&Medium::shard_entry, &job);
+    run_shard_chunk(job, 0, scratches[0]);
+    team_->wait();
+    if (trace_ != nullptr) {
+      trace_->record(events_.now(), obs::Category::kMedium,
+                     obs::Event::kShardFanout, from, chunks);
+    }
+  } else {
+    run_shard_chunk(job, 0, scratches[0]);
+  }
+
+  // Fixed-order merge by repeated min-pick over every worker's sorted runs:
+  // survivors come out in global slot order == radio-id order, so the
+  // fanout (and with it the fault-stream draw order) is bit-identical to
+  // the legacy id-sorted path at any worker count. Run heads live in flat
+  // arrays the min-scan reads without indirection; an exhausted run parks
+  // at kNoSlot, which no live slot can beat, so the scan needs no
+  // emptiness branches. Capacity: 9 bucket slices + (chunks − 1) extra
+  // boundaries ≤ 9 + 15 = 24 runs.
+  const FanoutCandidate* run_cur[24];
+  const FanoutCandidate* run_end[24];
+  std::uint32_t head_slot[24];
+  int nruns = 0;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    const ShardScratch& s = scratches[k];
+    for (int i = 0; i < s.nruns; ++i) {
+      run_cur[nruns] = s.cand.data() + s.runs[i].begin;
+      run_end[nruns] = s.cand.data() + s.runs[i].end;
+      head_slot[nruns] = run_cur[nruns]->slot;
+      ++nruns;
+    }
+  }
+
   const bool multicast = frame.header.addr1.is_multicast();
   while (nruns > 0) {
     int best = 0;
@@ -470,22 +644,22 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
       if (head_slot[i] < head_slot[best]) best = i;
     }
     if (head_slot[best] == kNoSlot) break;  // every run exhausted
-    const BatchCandidate c = cand[head_idx[best]];
-    const std::uint32_t next = head_idx[best] + 1;
-    head_idx[best] = next;
-    head_slot[best] = next < runs[best].end ? cand[next].slot : kNoSlot;
+    const FanoutCandidate c = *run_cur[best]++;
+    head_slot[best] =
+        run_cur[best] != run_end[best] ? run_cur[best]->slot : kNoSlot;
     RadioState& st = slots_[c.slot];
     // A sink callback from an earlier candidate may have detached this
     // radio (or cleared its sink) mid-fanout; skip before any fault draw is
     // consumed, exactly as the reference path does.
     if (!st.attached || st.sink == nullptr) continue;
+    const Position rx_pos{c.x, c.y};  // frozen at gather time
     double rx_dbm;
     if (fault_rng != nullptr) {
       // The erasure draw below must see bit-identical RX power to the
       // reference path, so lossy runs always take the exact hypot + log10
       // road; survivors then reuse the same value as their RSSI.
       rx_dbm =
-          propagation_.rx_power_dbm(tx_power_dbm, distance(tx_pos, st.pos));
+          propagation_.rx_power_dbm(tx_power_dbm, distance(tx_pos, rx_pos));
       if (fault_rng->chance(multicast ? fault_.link_loss(rx_dbm)
                                       : fault_.per(rx_dbm))) {
         ++st.rx_lost;
@@ -500,9 +674,12 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
       }
     } else if (cfg_.pathloss_cache && !pair_cache_.empty()) {
       rx_dbm =
-          pair_cached_rx_dbm(self, c.slot, tx_power_dbm, c.dist_sq, tx_pos);
+          pair_cached_rx_dbm(self, c.slot, tx_power_dbm, c.dist_sq, tx_pos,
+                             rx_pos, job.precompute ? &c.rx_dbm : nullptr);
+    } else if (job.precompute) {
+      rx_dbm = c.rx_dbm;
     } else {
-      rx_dbm = survivor_rx_dbm(c.slot, tx_power_dbm, c.dist_sq, tx_pos);
+      rx_dbm = survivor_rx_dbm(tx_power_dbm, c.dist_sq, tx_pos, rx_pos);
     }
     RxInfo info;
     info.rssi_dbm = rx_dbm;
@@ -553,13 +730,13 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
       for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
         const auto cell = cells_.find(cell_key(cx, cy));
         if (cell == cells_.end()) continue;
-        for (const std::uint32_t slot : cell->second) {
+        for (const std::uint32_t slot : cell->second.slots) {
           const RadioState& st = slots_[slot];
           const RadioId id = static_cast<RadioId>(slot) + 1;
           if (id == from || st.channel != channel || st.sink == nullptr) {
             continue;
           }
-          targets.push_back({id, slot});
+          targets.push_back({id, slot, distance(tx_pos, st.pos)});
         }
       }
     }
@@ -573,13 +750,15 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
       const RadioState& st = slots_[slot];
       const RadioId id = static_cast<RadioId>(slot) + 1;
       if (id == from || st.channel != channel || st.sink == nullptr) continue;
-      targets.push_back({id, slot});
+      targets.push_back({id, slot, distance(tx_pos, st.pos)});
     }
   }
 
   // Candidate slots stay valid until the topology changes; only after a
   // sink callback attaches or detaches a radio do we pay the id lookup
-  // again (a detached candidate is skipped, as before).
+  // again (a detached candidate is skipped, as before). The distance was
+  // frozen into the candidate at gather time — see Candidate::d — so a
+  // callback moving radios mid-fanout does not alter this frame's fanout.
   const std::uint64_t epoch = topology_epoch_;
   for (const Candidate& c : targets) {
     std::uint32_t slot = c.slot;
@@ -588,7 +767,8 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
       if (slot == kNoSlot) continue;  // detached by an earlier callback
     }
     auto& st = slots_[slot];
-    const double d = distance(tx_pos, st.pos);
+    if (st.sink == nullptr) continue;  // sink revoked by an earlier callback
+    const double d = c.d;
     if (!propagation_.deliverable(tx_power_dbm, d)) continue;
     const double rx_dbm = propagation_.rx_power_dbm(tx_power_dbm, d);
     if (fault_rng != nullptr &&

@@ -27,6 +27,15 @@
 // retained behind Config toggles and always used on the fault path, where
 // the erasure draw must see bit-identical RX power.
 //
+// The gather/filter and LUT stages additionally run through 4-wide AVX2
+// lanes (medium/fanout_simd, runtime-detected, bit-identical scalar
+// fallback) and can be sharded across intra-run worker threads: contiguous
+// chunks of the candidate buckets fill private survivor scratches in
+// parallel, then a fixed-order merge hands survivors to the single-threaded
+// delivery loop in ascending slot order — sink callbacks and fault draws
+// never leave the calling thread, so output is bit-identical at any worker
+// count and with SIMD on or off.
+//
 // Hot-path storage: radio state lives in a dense slab indexed by slot, and
 // each in-flight transmission borrows a pooled object that owns the wire
 // buffer, the decoded frame every receiver shares, and the fault RNG. At
@@ -41,6 +50,7 @@
 
 #include "dot11/frame.h"
 #include "medium/event_queue.h"
+#include "medium/fanout_simd.h"
 #include "medium/fault.h"
 #include "medium/geometry.h"
 #include "medium/propagation.h"
@@ -48,6 +58,10 @@
 
 namespace cityhunter::obs {
 class TraceBuffer;
+}
+
+namespace cityhunter::support {
+class TaskTeam;
 }
 
 namespace cityhunter::medium {
@@ -82,6 +96,23 @@ class Medium {
     /// hit it on every beacon. Stores exactly what the LUT/exact path would
     /// compute, so toggling it cannot change results.
     bool pathloss_cache = true;
+    /// 4-wide SIMD lanes (AVX2, runtime-detected) for the batched fanout's
+    /// gather/filter and LUT stages. The vector kernels replicate the scalar
+    /// operation order exactly (no FMA), so results are bit-identical either
+    /// way; disable only to benchmark the scalar path.
+    bool simd_fanout = true;
+    /// Intra-run fanout parallelism: total workers (including the calling
+    /// thread) that fill private survivor scratches from contiguous chunks
+    /// of the candidate buckets. Delivery itself — sink callbacks and fault
+    /// draws — always runs on the calling thread in ascending slot order via
+    /// a fixed-order merge, so output is bit-identical at any worker count.
+    /// 1 (default) keeps the run strictly serial; valid range [1, 16].
+    int intra_run_workers = 1;
+    /// Minimum candidate count (bucket entries in the 3x3 probe) before a
+    /// fanout is sharded across workers; smaller fanouts stay on the calling
+    /// thread to dodge the fork-join latency. Purely a performance knob —
+    /// results are identical at any value.
+    int shard_min_candidates = 192;
     /// Deterministic fault injection (loss, corruption, retries). Disabled
     /// by default: the perfect channel stays byte-identical to the seed.
     FaultModel::Config fault{};
@@ -89,8 +120,10 @@ class Medium {
 
   explicit Medium(EventQueue& events);
   /// Throws std::invalid_argument when `cfg` is nonsense
-  /// (contention_factor <= 0, mgmt_rate_mbps <= 0, bad fault config).
+  /// (contention_factor <= 0, mgmt_rate_mbps <= 0, intra_run_workers outside
+  /// [1, 16], negative shard_min_candidates, bad fault config).
   Medium(EventQueue& events, Config cfg);
+  ~Medium();
 
   /// Create a radio at `pos` on `channel` with `tx_power_dbm`.
   Radio attach(Position pos, std::uint8_t channel, double tx_power_dbm,
@@ -104,6 +137,11 @@ class Medium {
   const Config& config() const { return cfg_; }
   const LogDistancePathLoss& propagation() const { return propagation_; }
   const FaultModel& fault() const { return fault_; }
+
+  /// Whether `id` currently names an attached radio. Safe for any 64-bit
+  /// id: values outside the slot table (0, one past the last issued id,
+  /// anything larger) resolve to false rather than indexing out of bounds.
+  bool has_radio(RadioId id) const { return slot_of(id) != kNoSlot; }
 
   /// Total frames ever delivered (for tests/benches).
   std::uint64_t deliveries() const { return deliveries_; }
@@ -120,6 +158,18 @@ class Medium {
   std::uint64_t pathloss_cache_misses() const {
     return pathloss_cache_misses_;
   }
+
+  /// Batched-fanout stage counters: how much work the SIMD lanes and the
+  /// intra-run shards actually saw. Candidate counts are bucket entries fed
+  /// to the filter kernels (vector counts include their scalar tails).
+  struct FanoutStats {
+    std::uint64_t batched_fanouts = 0;   // deliver_batched invocations
+    std::uint64_t simd_candidates = 0;   // entries through the AVX2 filter
+    std::uint64_t scalar_candidates = 0; // entries through the scalar filter
+    std::uint64_t sharded_fanouts = 0;   // fanouts split across workers
+    std::uint64_t shard_chunks = 0;      // total chunks dispatched
+  };
+  const FanoutStats& fanout_stats() const { return fanout_stats_; }
 
   /// Why frames died, split by cause. Additive to the aggregate counters
   /// above (frames_lost == erasure + collision; a crc_reject is one
@@ -190,13 +240,60 @@ class Medium {
   struct Candidate {
     RadioId id = 0;
     std::uint32_t slot = kNoSlot;
+    /// Transmitter→receiver distance frozen at gather time. Delivery
+    /// semantics: the frame is in flight, so the receiver set and link
+    /// budget are fixed when the transmission fans out; a sink callback
+    /// moving radios mid-fanout cannot change who hears this frame or at
+    /// what power (only detach revokes delivery). The batched pipeline
+    /// snapshots positions the same way, keeping both paths bit-identical
+    /// under mid-fanout churn.
+    double d = 0.0;
   };
 
-  /// A batched-path candidate: in-range survivor with its gathered squared
-  /// distance (slot order == id order, so no separate identity is needed).
-  struct BatchCandidate {
-    std::uint32_t slot = kNoSlot;
-    double dist_sq = 0.0;
+  /// One spatial-grid bucket, struct-of-arrays: `slots` ascending (== radio
+  /// id order), with the position and fused listening key of each member
+  /// mirrored at the same index. The filter kernels in medium/fanout_simd
+  /// stream these contiguous arrays directly — no per-slot indirection into
+  /// soa_x_/soa_y_/soa_key_ on the gather path, and 4 adjacent members load
+  /// as one vector lane.
+  struct Bucket {
+    std::vector<std::uint32_t> slots;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<std::uint16_t> keys;
+
+    std::size_t size() const { return slots.size(); }
+  };
+
+  /// Per-worker fanout scratch: the chunk's in-range survivors plus the
+  /// sorted runs they form (one run per bucket the chunk overlaps — a chunk
+  /// is contiguous over the ≤9-bucket probe, so ≤9 runs).
+  struct ShardScratch {
+    struct Run {
+      std::uint32_t begin = 0;
+      std::uint32_t end = 0;
+    };
+    std::vector<FanoutCandidate> cand;
+    Run runs[9];
+    int nruns = 0;
+  };
+
+  /// Everything a shard worker needs, published once per sharded fanout
+  /// (TaskTeam's dispatch orders the stores before helpers read it). Chunk k
+  /// covers concatenated-bucket element range [split[k], split[k+1]).
+  struct ShardJob {
+    Medium* medium = nullptr;
+    const Bucket* const* buckets = nullptr;
+    int nbuckets = 0;
+    std::size_t split[17] = {};
+    double tx_x = 0.0;
+    double tx_y = 0.0;
+    double range_sq = -1.0;
+    double tx_dbm = 0.0;
+    std::uint16_t want = 0;
+    std::uint32_t self_slot = kNoSlot;
+    bool use_simd = false;
+    bool precompute = false;  // LUT rx_dbm filled per survivor in-shard
   };
 
   /// One entry of the pair pathloss cache. Valid for a lookup iff key,
@@ -214,10 +311,13 @@ class Medium {
 
   /// Slot for `id`: ids are issued monotonically and slots never recycle,
   /// so slot ≡ id − 1 for the radio's whole lifetime. kNoSlot once detached.
+  /// The bound compares in RadioId's own unsigned 64-bit domain (slots_
+  /// .size() cast up, never id narrowed down), so an id one past the table —
+  /// or wider than 32 bits — can never alias a live slot.
   std::uint32_t slot_of(RadioId id) const {
-    return id >= 1 && id <= slots_.size() && slots_[id - 1].attached
-               ? static_cast<std::uint32_t>(id - 1)
-               : kNoSlot;
+    if (id < 1 || id > static_cast<RadioId>(slots_.size())) return kNoSlot;
+    const std::size_t idx = static_cast<std::size_t>(id - 1);
+    return slots_[idx].attached ? static_cast<std::uint32_t>(idx) : kNoSlot;
   }
 
   RadioState& state(RadioId id);
@@ -234,11 +334,20 @@ class Medium {
   void deliver(RadioId from, const dot11::Frame& frame, std::uint8_t channel,
                Position tx_pos, double tx_power_dbm,
                support::Rng* fault_rng = nullptr);
-  /// Batched SoA fanout: sorted-bucket gather, squared-distance filter,
-  /// ≤9-way merge in slot order, LUT/cached RX power for survivors.
+  /// Batched SoA fanout: sorted-bucket gather through the SIMD filter
+  /// kernels (optionally sharded across intra-run workers), fixed-order
+  /// merge in slot order, LUT/cached RX power for survivors.
   void deliver_batched(RadioId from, const dot11::Frame& frame,
                        std::uint8_t channel, Position tx_pos,
                        double tx_power_dbm, support::Rng* fault_rng);
+  /// Fill `scratch` with chunk `chunk`'s survivors: filter every bucket
+  /// slice the chunk overlaps (recording one sorted run per slice), then
+  /// LUT-evaluate them when the job asks for precompute. Runs on helper
+  /// threads for chunks >= 1; touches only the job's read-only inputs and
+  /// the private scratch.
+  void run_shard_chunk(const ShardJob& job, std::size_t chunk,
+                       ShardScratch& scratch) const;
+  static void shard_entry(void* ctx, std::size_t helper_index);
 
   Transmission& acquire_txn();
 
@@ -253,13 +362,18 @@ class Medium {
 
   /// Refresh the radio's fused SoA listening key: 0 when it cannot receive
   /// (detached or no sink), channel + 1 otherwise. One uint16 compare in the
-  /// gather loop then covers the attached/sink/channel filters at once.
+  /// gather loop then covers the attached/sink/channel filters at once. The
+  /// bucket mirror is refreshed alongside while the radio is in the grid.
   void update_soa_key(std::uint32_t slot) {
     const RadioState& st = slots_[slot];
     soa_key_[slot] = st.attached && st.sink != nullptr
                          ? static_cast<std::uint16_t>(st.channel) + 1
                          : 0;
+    if (st.in_grid) bucket_sync_key(slot);
   }
+
+  /// Propagate soa_key_[slot] into the radio's bucket mirror.
+  void bucket_sync_key(std::uint32_t slot);
 
   /// Memoized per-TX-power range data (venues use a handful of power
   /// classes): the cull-box radius (exactly the legacy max_range) and the
@@ -274,12 +388,20 @@ class Medium {
   const RangeEntry& range_for(double tx_power_dbm);
 
   /// Survivor RX power through the pair cache (batched fault-free path).
+  /// When `precomputed` is non-null it holds the LUT value the shard stage
+  /// already evaluated for this survivor — bit-identical to what a miss
+  /// would recompute, so the cache's contents and hit/miss counters are
+  /// unchanged by the precompute.
   double pair_cached_rx_dbm(std::uint32_t tx_slot, std::uint32_t rx_slot,
-                            double tx_dbm, double dist_sq, Position tx_pos);
+                            double tx_dbm, double dist_sq, Position tx_pos,
+                            Position rx_pos,
+                            const double* precomputed = nullptr);
   /// Survivor RX power: LUT when enabled and covering, exact (fresh hypot,
-  /// bit-identical to the reference path) otherwise.
-  double survivor_rx_dbm(std::uint32_t rx_slot, double tx_dbm, double dist_sq,
-                         Position tx_pos) const;
+  /// bit-identical to the reference path) otherwise. `rx_pos` is the
+  /// receiver position frozen at gather time — the link budget must not see
+  /// moves a sink callback makes mid-fanout.
+  double survivor_rx_dbm(double tx_dbm, double dist_sq, Position tx_pos,
+                         Position rx_pos) const;
 
   /// (Re)build the d² path-loss LUT to cover the strongest transmitter.
   void rebuild_lut();
@@ -349,14 +471,23 @@ class Medium {
   // deliver() fanout scratch, reused across calls (depth-guarded: reentrant
   // delivery falls back to a local vector).
   std::vector<Candidate> deliver_scratch_;
-  std::vector<BatchCandidate> batch_scratch_;
   int deliver_depth_ = 0;
+
+  // Intra-run fanout team: intra_run_workers − 1 parked helper threads (the
+  // calling thread is worker 0), null when the run is serial. One scratch
+  // per worker, reused across fanouts; nested (reentrant) delivery uses a
+  // local scratch and never shards.
+  std::unique_ptr<support::TaskTeam> team_;
+  std::vector<ShardScratch> shard_scratch_;
+  /// simd_fanout ∧ the CPU actually has AVX2, resolved once.
+  bool use_simd_ = false;
+  FanoutStats fanout_stats_;
 
   double cell_size_ = 0.0;
   double max_tx_power_dbm_ = -1e300;
   /// Grid buckets hold slots sorted ascending (== ascending radio id), so
   /// per-cell gather runs come out pre-sorted for the merge fanout.
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+  std::unordered_map<std::uint64_t, Bucket> cells_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t transmissions_ = 0;
   std::uint64_t frames_lost_ = 0;

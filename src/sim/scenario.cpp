@@ -125,6 +125,9 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
     // same (world seed, run config) is bit-identical at any thread count.
     medium_cfg.fault.seed = rng.fork("fault").engine()();
   }
+  if (cfg.intra_run_workers) {
+    medium_cfg.intra_run_workers = *cfg.intra_run_workers;
+  }
   medium::Medium medium(events, medium_cfg);
   medium.set_trace(probe.trace());
 
@@ -286,6 +289,13 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
           medium.pathloss_cache_hits());
     m.add(m.counter("medium.pathloss_cache_misses"),
           medium.pathloss_cache_misses());
+    const auto& fanout = medium.fanout_stats();
+    m.add(m.counter("medium.fanout_batched"), fanout.batched_fanouts);
+    m.add(m.counter("medium.fanout_simd_candidates"), fanout.simd_candidates);
+    m.add(m.counter("medium.fanout_scalar_candidates"),
+          fanout.scalar_candidates);
+    m.add(m.counter("medium.fanout_sharded"), fanout.sharded_fanouts);
+    m.add(m.counter("medium.fanout_shard_chunks"), fanout.shard_chunks);
     const auto& drops = medium.drops();
     m.add(m.counter("fault.drop_erasure"), drops.erasure);
     m.add(m.counter("fault.drop_collision"), drops.collision);

@@ -37,6 +37,85 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Bounded spin before parking on a futex: long enough to catch a fanout
+/// dispatched microseconds later, short enough not to burn a core when the
+/// medium goes quiet (or when helpers oversubscribe a small machine — the
+/// yield gives the producer thread a chance to actually run).
+constexpr int kSpinIterations = 1024;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+TaskTeam::TaskTeam(std::size_t helpers) {
+  threads_.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    threads_.emplace_back([this, i] { helper_loop(i); });
+  }
+}
+
+TaskTeam::~TaskTeam() {
+  stopping_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskTeam::dispatch(Fn fn, void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  done_.store(0, std::memory_order_relaxed);
+  // The release increment publishes fn_/ctx_ (and everything the caller
+  // wrote before dispatch) to helpers that acquire the new epoch.
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+}
+
+void TaskTeam::wait() {
+  const std::size_t n = threads_.size();
+  int spins = 0;
+  for (;;) {
+    const std::size_t d = done_.load(std::memory_order_acquire);
+    if (d == n) return;
+    if (++spins < kSpinIterations) {
+      cpu_relax();
+    } else {
+      done_.wait(d, std::memory_order_acquire);
+      spins = 0;
+    }
+  }
+}
+
+void TaskTeam::helper_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (e == seen) {
+      if (++spins < kSpinIterations) {
+        cpu_relax();
+      } else {
+        epoch_.wait(seen, std::memory_order_acquire);
+        spins = 0;
+      }
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    seen = e;
+    fn_(ctx_, index);
+    done_.fetch_add(1, std::memory_order_release);
+    done_.notify_all();
+  }
+}
+
 std::size_t ThreadPool::default_workers() {
   if (const char* env = std::getenv("CITYHUNTER_THREADS")) {
     const long n = std::strtol(env, nullptr, 10);

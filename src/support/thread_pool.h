@@ -6,8 +6,10 @@
 // not block on a future produced by the same pool (classic starvation).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -60,6 +62,55 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// Low-latency fork-join team for intra-run data parallelism.
+///
+/// ThreadPool's futures-based submit costs a mutex, a packaged_task heap
+/// allocation and a condition-variable wakeup per task — fine for campaign
+/// runs that last seconds, fatal for a delivery fanout that lasts
+/// microseconds. TaskTeam keeps N helper threads parked on one atomic epoch:
+/// dispatch() is two plain stores plus a release increment, helpers spin
+/// briefly before falling back to atomic::wait (futex), and join is a
+/// counter the caller spins on. No allocation, no mutex, no std::function
+/// on the dispatch path.
+///
+/// Protocol (single producer): dispatch(fn, ctx) → caller does its own share
+/// of the work → wait(). The callable is a plain function pointer; every
+/// helper runs fn(ctx, helper_index) exactly once per dispatch. Memory
+/// ordering: writes made by the caller before dispatch() are visible to
+/// helpers (release/acquire on the epoch), and writes made by helpers before
+/// returning from fn are visible to the caller after wait() (release/acquire
+/// on the done counter).
+class TaskTeam {
+ public:
+  using Fn = void (*)(void* ctx, std::size_t helper_index);
+
+  /// Spawns `helpers` parked threads (the caller is not one of them — a
+  /// W-way fork-join wants helpers = W − 1).
+  explicit TaskTeam(std::size_t helpers);
+  ~TaskTeam();
+
+  TaskTeam(const TaskTeam&) = delete;
+  TaskTeam& operator=(const TaskTeam&) = delete;
+
+  std::size_t helpers() const { return threads_.size(); }
+
+  /// Launch fn(ctx, i) on every helper i. Must not be called again before
+  /// wait() returns; the caller should run its own chunk between the two.
+  void dispatch(Fn fn, void* ctx);
+  /// Block until every helper finished the current dispatch.
+  void wait();
+
+ private:
+  void helper_loop(std::size_t index);
+
+  Fn fn_ = nullptr;    // valid between dispatch() and the helpers' done
+  void* ctx_ = nullptr;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace cityhunter::support

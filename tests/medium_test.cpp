@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -9,6 +10,7 @@
 #include "dot11/serialize.h"
 #include "dot11/timing.h"
 #include "medium/event_queue.h"
+#include "medium/fanout_simd.h"
 #include "medium/medium.h"
 #include "medium/propagation.h"
 #include "support/rng.h"
@@ -323,6 +325,128 @@ TEST_F(MediumTest, SinkMayDetachRadiosDuringDelivery) {
   (void)b;
 }
 
+TEST_F(MediumTest, SlotTableBoundaryIdsResolveSafely) {
+  // Regression for the slot_of() bounds check: the comparison now happens in
+  // RadioId's unsigned 64-bit domain, so the id one past the table — and
+  // ids far wider than 32 bits — must resolve to "no radio", while the last
+  // issued id stays live.
+  auto a = medium.attach({0, 0}, 6, 20.0);
+  auto b = medium.attach({10, 0}, 6, 15.0);
+  auto c = medium.attach({20, 0}, 6, 15.0);
+  ASSERT_EQ(c.id(), 3u);  // 3 slots issued: table size is exactly 3
+  EXPECT_TRUE(medium.has_radio(1));
+  EXPECT_TRUE(medium.has_radio(3));   // boundary: last row of the table
+  EXPECT_FALSE(medium.has_radio(0));
+  EXPECT_FALSE(medium.has_radio(4));  // boundary: one past the table
+  EXPECT_FALSE(medium.has_radio((std::uint64_t{1} << 32) + 1));
+  EXPECT_FALSE(medium.has_radio(~std::uint64_t{0}));
+
+  // Detaching the last radio keeps the table size but kills the id; a stale
+  // copy of its handle must throw, not read a recycled slot.
+  Radio stale = c;
+  medium.detach(c);
+  EXPECT_FALSE(medium.has_radio(3));
+  EXPECT_THROW(stale.position(), std::logic_error);
+  (void)a;
+  (void)b;
+}
+
+// --- Fanout SIMD kernels ---
+
+// The vector filter must agree with the scalar filter bit for bit: same
+// survivor set, same order, same gathered d² — across block sizes that
+// exercise full lanes, tails, and key/self/range rejections in every lane
+// position.
+TEST(FanoutSimd, FilterMatchesScalarBitwise) {
+  Rng rng(71);
+  for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 37u, 256u}) {
+    std::vector<std::uint32_t> slots(n);
+    std::vector<double> xs(n), ys(n);
+    std::vector<std::uint16_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots[i] = static_cast<std::uint32_t>(i * 3);  // sorted, gappy
+      xs[i] = rng.uniform(-120.0, 120.0);
+      ys[i] = rng.uniform(-120.0, 120.0);
+      keys[i] = static_cast<std::uint16_t>(rng.index(3) == 0 ? 7 : 5);
+    }
+    const double range_sq = 60.0 * 60.0;
+    const std::uint32_t self = n > 2 ? slots[n / 2] : 0;
+    std::vector<FanoutCandidate> simd_out(n), scalar_out(n);
+    const std::size_t ns =
+        fanout_filter(slots.data(), xs.data(), ys.data(), keys.data(), n,
+                      3.0, -4.0, range_sq, 7, self, /*use_simd=*/true,
+                      simd_out.data());
+    const std::size_t nc =
+        fanout_filter(slots.data(), xs.data(), ys.data(), keys.data(), n,
+                      3.0, -4.0, range_sq, 7, self, /*use_simd=*/false,
+                      scalar_out.data());
+    ASSERT_EQ(ns, nc) << "n=" << n;
+    for (std::size_t i = 0; i < ns; ++i) {
+      EXPECT_EQ(simd_out[i].slot, scalar_out[i].slot) << "n=" << n;
+      // Bitwise, not approximate: the lanes use the exact scalar op order.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(simd_out[i].dist_sq),
+                std::bit_cast<std::uint64_t>(scalar_out[i].dist_sq))
+          << "n=" << n << " i=" << i;
+      // The frozen position is the exact gather-time input, both paths.
+      const auto src = static_cast<std::size_t>(simd_out[i].slot) / 3;
+      EXPECT_EQ(simd_out[i].x, xs[src]) << "n=" << n << " i=" << i;
+      EXPECT_EQ(simd_out[i].y, ys[src]) << "n=" << n << " i=" << i;
+      EXPECT_EQ(scalar_out[i].x, xs[src]) << "n=" << n << " i=" << i;
+      EXPECT_EQ(scalar_out[i].y, ys[src]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// Negative range_sq (negative link budget) must reject everything, exactly
+// like the scalar `!(d² <= range²)` test — in every lane.
+TEST(FanoutSimd, FilterNegativeRangeRejectsAll) {
+  std::vector<std::uint32_t> slots{0, 1, 2, 3, 4, 5};
+  std::vector<double> xs{0, 1, 2, 3, 4, 5}, ys(6, 0.0);
+  std::vector<std::uint16_t> keys(6, 7);
+  std::vector<FanoutCandidate> out(6);
+  for (const bool simd : {true, false}) {
+    EXPECT_EQ(fanout_filter(slots.data(), xs.data(), ys.data(), keys.data(),
+                            6, 0.0, 0.0, -1.0, 7, 99, simd, out.data()),
+              0u);
+  }
+}
+
+// The vector LUT evaluation must reproduce PathLossLut::rx_power_dbm_sq bit
+// for bit — including the d² <= 1 m² reference clamp and the top-segment
+// index clamp — for full lanes and scalar tails alike.
+TEST(FanoutSimd, LutEvalMatchesScalarBitwise) {
+  LogDistancePathLoss::Config cfg;
+  PathLossLut lut(cfg, 600.0);
+  Rng rng(72);
+  for (const std::size_t n : {0u, 1u, 4u, 7u, 33u, 500u}) {
+    std::vector<FanoutCandidate> simd_c(n), scalar_c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double d2;
+      const std::size_t kind = rng.index(8);
+      if (kind == 0) {
+        d2 = rng.uniform(0.0, 1.0);  // reference-clamp lanes
+      } else if (kind == 1) {
+        d2 = lut.max_dist_sq();  // top-segment clamp boundary
+      } else {
+        d2 = rng.uniform(1.0, lut.max_dist_sq());
+      }
+      simd_c[i].dist_sq = scalar_c[i].dist_sq = d2;
+      simd_c[i].slot = scalar_c[i].slot = static_cast<std::uint32_t>(i);
+    }
+    fanout_lut_eval(lut, 20.0, simd_c.data(), n, /*use_simd=*/true);
+    fanout_lut_eval(lut, 20.0, scalar_c.data(), n, /*use_simd=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(simd_c[i].rx_dbm),
+                std::bit_cast<std::uint64_t>(scalar_c[i].rx_dbm))
+          << "n=" << n << " i=" << i << " d2=" << simd_c[i].dist_sq;
+      // And both must equal the member-function lookup exactly.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(scalar_c[i].rx_dbm),
+                std::bit_cast<std::uint64_t>(
+                    lut.rx_power_dbm_sq(20.0, scalar_c[i].dist_sq)));
+    }
+  }
+}
+
 // --- PathLossLut ---
 
 TEST(PathLossLut, MonotoneAndWithinErrorBound) {
@@ -569,6 +693,185 @@ TEST(MediumEquivalence, LossyRunsAreBitIdenticalAcrossPipelines) {
     EXPECT_EQ(reference.medium.drops(), batched.medium.drops());
     EXPECT_EQ(reference.medium.retries(), batched.medium.retries());
   }
+}
+
+// --- SIMD / sharded fanout equivalence ---
+
+TEST(MediumEquivalence, SimdAndScalarFanoutsAreBitIdentical) {
+  // simd_fanout toggles nothing observable: the vector kernels replicate the
+  // scalar operation order exactly, so the full default pipeline (LUT +
+  // cache) must agree bit for bit, lossless and lossy alike. (On hardware
+  // without AVX2 both rigs run scalar and this degenerates to a self-check.)
+  for (const bool fault : {false, true}) {
+    const auto script = make_fuzz_script(fault ? 44u : 43u, 300);
+    Medium::Config simd_cfg = fuzz_config(true, true, true, true, fault);
+    Medium::Config scalar_cfg = simd_cfg;
+    scalar_cfg.simd_fanout = false;
+    FuzzRig simd_rig(simd_cfg);
+    FuzzRig scalar_rig(scalar_cfg);
+    replay(simd_rig, script);
+    replay(scalar_rig, script);
+    EXPECT_EQ(simd_rig.log, scalar_rig.log) << "fault=" << fault;
+    EXPECT_EQ(simd_rig.medium.pathloss_cache_hits(),
+              scalar_rig.medium.pathloss_cache_hits());
+    EXPECT_EQ(simd_rig.medium.frames_lost(),
+              scalar_rig.medium.frames_lost());
+  }
+}
+
+TEST(MediumEquivalence, ShardedFanoutMatchesLegacyScanAtAnyWorkerCount) {
+  // Exact-math sharded rigs vs the legacy full scan: byte-identical
+  // deliveries at 1, 2 and 8 workers. shard_min_candidates = 0 forces every
+  // fanout through the fork-join path, so the merge really is exercised.
+  for (const std::uint64_t seed : {11u, 22u}) {
+    const auto script = make_fuzz_script(seed, 300);
+    FuzzRig scan(fuzz_config(false, false, false, false, false));
+    replay(scan, script);
+    for (const int workers : {1, 2, 8}) {
+      Medium::Config cfg = fuzz_config(true, false, false, true, false);
+      cfg.intra_run_workers = workers;
+      cfg.shard_min_candidates = 0;
+      FuzzRig rig(cfg);
+      replay(rig, script);
+      EXPECT_EQ(scan.log, rig.log) << "seed " << seed << " workers "
+                                   << workers;
+    }
+  }
+}
+
+TEST(MediumEquivalence, ShardedLossyRunsAreBitIdenticalToLegacyScan) {
+  // The faulty path under sharding: erasure draws consume on the calling
+  // thread in merged slot order, so the loss pattern must match the legacy
+  // scan bit for bit at any worker count.
+  for (const std::uint64_t seed : {5u, 6u}) {
+    const auto script = make_fuzz_script(seed, 300);
+    FuzzRig scan(fuzz_config(false, false, false, false, true));
+    replay(scan, script);
+    for (const int workers : {1, 2, 8}) {
+      Medium::Config cfg = fuzz_config(true, true, true, true, true);
+      cfg.intra_run_workers = workers;
+      cfg.shard_min_candidates = 0;
+      FuzzRig rig(cfg);
+      replay(rig, script);
+      EXPECT_EQ(scan.log, rig.log) << "seed " << seed << " workers "
+                                   << workers;
+      EXPECT_EQ(scan.medium.frames_lost(), rig.medium.frames_lost());
+      EXPECT_EQ(scan.medium.drops(), rig.medium.drops());
+      EXPECT_EQ(scan.medium.retries(), rig.medium.retries());
+    }
+  }
+}
+
+// Churn harness for the mid-delivery mutation test: sinks that move,
+// detach and attach radios from inside on_frame, off a deterministic tick
+// shared by the whole population.
+struct ChurnSink;
+struct ChurnState {
+  Medium* medium = nullptr;
+  std::vector<Radio> radios;
+  std::vector<std::unique_ptr<ChurnSink>> sinks;
+  std::vector<DeliveryRecord> log;
+  std::uint64_t tick = 0;
+
+  void attach(Position pos, std::uint8_t channel, double dbm);
+};
+struct ChurnSink : FrameSink {
+  ChurnState* s = nullptr;
+  std::uint64_t id = 0;
+  void on_frame(const dot11::Frame&, const RxInfo& info) override {
+    s->log.push_back({id, info.time.us(), info.rssi_dbm, info.channel});
+    const std::uint64_t t = s->tick++;
+    auto& radios = s->radios;
+    if (t % 3 == 0) {  // drag a peer across cells mid-fanout
+      Radio& r = radios[t % radios.size()];
+      if (r.valid()) {
+        r.set_position({static_cast<double>(t % 173) - 86.0,
+                        static_cast<double>(t % 59) - 29.0});
+      }
+    }
+    if (t % 7 == 2) {  // detach a peer mid-fanout
+      Radio& r = radios[(t / 7) % radios.size()];
+      if (r.valid()) s->medium->detach(r);
+    }
+    if (t % 11 == 4) {  // attach mid-fanout (slot > every candidate)
+      s->attach({static_cast<double>(t % 97) - 48.0, 10.0}, 6, 15.0);
+    }
+  }
+};
+
+void ChurnState::attach(Position pos, std::uint8_t channel, double dbm) {
+  auto sink = std::make_unique<ChurnSink>();
+  sink->s = this;
+  radios.push_back(medium->attach(pos, channel, dbm, sink.get()));
+  sink->id = radios.back().id();
+  sinks.push_back(std::move(sink));
+}
+
+TEST(MediumEquivalence, ShardedFanoutSurvivesSinkChurnMidDelivery) {
+  // Sinks that mutate the topology *during* the fanout — moving peers,
+  // detaching them, attaching new radios — from inside on_frame. The shard
+  // stage snapshots survivors before any sink runs, so every pipeline and
+  // worker count must deliver the same sequence as the legacy scan.
+  const auto run = [](Medium::Config cfg) {
+    EventQueue events;
+    Medium medium(events, cfg);
+    ChurnState state;
+    state.medium = &medium;
+    Rng rng(313);
+    for (int i = 0; i < 24; ++i) {
+      state.attach({rng.uniform(-100.0, 100.0), rng.uniform(-100.0, 100.0)},
+                   6, rng.chance(0.25) ? 20.0 : 15.0);
+    }
+    auto& radios = state.radios;
+    Rng mac_rng(99);
+    for (int i = 0; i < 80; ++i) {
+      Radio& tx = radios[static_cast<std::size_t>(i * 7) % radios.size()];
+      if (!tx.valid()) continue;
+      if (i % 2 == 0) {
+        tx.transmit(dot11::make_broadcast_probe_request(
+            MacAddress::random_local(mac_rng)));
+      } else {
+        tx.transmit(dot11::make_probe_response(
+            MacAddress::random_local(mac_rng),
+            MacAddress::random_local(mac_rng), "churn", tx.channel(), true));
+      }
+      events.run_all();
+    }
+    return state.log;
+  };
+
+  const auto scan_log = run(fuzz_config(false, false, false, false, false));
+  ASSERT_FALSE(scan_log.empty());
+  for (const int workers : {1, 2, 8}) {
+    Medium::Config cfg = fuzz_config(true, false, false, true, false);
+    cfg.intra_run_workers = workers;
+    cfg.shard_min_candidates = 0;
+    const auto log = run(cfg);
+    ASSERT_EQ(log.size(), scan_log.size()) << "workers " << workers;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      ASSERT_EQ(log[i].rx_id, scan_log[i].rx_id)
+          << "workers " << workers << " record " << i;
+      ASSERT_EQ(log[i].t_us, scan_log[i].t_us)
+          << "workers " << workers << " record " << i;
+      const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+      ASSERT_EQ(bits(log[i].rssi_dbm), bits(scan_log[i].rssi_dbm))
+          << "workers " << workers << " record " << i;
+      ASSERT_EQ(log[i].channel, scan_log[i].channel)
+          << "workers " << workers << " record " << i;
+    }
+  }
+}
+
+TEST(MediumConfig, RejectsBadIntraRunWorkers) {
+  EventQueue events;
+  Medium::Config cfg;
+  cfg.intra_run_workers = 0;
+  EXPECT_THROW(Medium(events, cfg), std::invalid_argument);
+  cfg.intra_run_workers = 17;
+  EXPECT_THROW(Medium(events, cfg), std::invalid_argument);
+  cfg.intra_run_workers = 2;
+  cfg.shard_min_candidates = -1;
+  EXPECT_THROW(Medium(events, cfg), std::invalid_argument);
 }
 
 // --- Pair pathloss cache ---
