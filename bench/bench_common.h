@@ -3,7 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,6 +15,7 @@
 #include "sim/parallel.h"
 #include "sim/scenario.h"
 #include "stats/report.h"
+#include "support/atomic_file.h"
 #include "support/histogram.h"
 #include "support/table.h"
 
@@ -49,8 +50,9 @@ inline std::size_t report_failed_runs(
   const std::size_t failed = sim::failed_runs(outputs);
   if (failed == 0) return 0;
   for (const auto& out : outputs) {
-    if (!out.error.empty()) std::printf("  !! failed run: %s\n",
-                                        out.error.c_str());
+    if (out.error.failed()) {
+      std::printf("  !! failed run: %s\n", out.error.str().c_str());
+    }
   }
   std::printf("  !! %zu of %zu runs failed; results below are partial\n",
               failed, outputs.size());
@@ -120,17 +122,20 @@ inline void write_trace_if_requested(
     obs::TraceStream s;
     s.pid = static_cast<int>(i);
     s.name = "run-" + std::to_string(i);
-    if (!outputs[i].error.empty()) s.name += " (failed)";
+    if (outputs[i].error.failed()) s.name += " (failed)";
     s.records = outputs[i].trace;
     dropped += outputs[i].trace_dropped;
     streams.push_back(std::move(s));
   }
-  std::ofstream out(path);
-  if (!out) {
-    std::printf("  !! CITYHUNTER_TRACE: cannot open %s for writing\n", path);
+  // Render in memory, publish with one atomic rename: a crash mid-write
+  // never leaves a truncated trace that chrome://tracing rejects.
+  std::ostringstream rendered;
+  obs::write_chrome_trace(rendered, streams);
+  std::string error;
+  if (!support::write_file_atomic(path, rendered.str(), &error)) {
+    std::printf("  !! CITYHUNTER_TRACE: %s\n", error.c_str());
     return;
   }
-  obs::write_chrome_trace(out, streams);
   std::printf("  trace: %s (%zu runs%s) — open in chrome://tracing or "
               "ui.perfetto.dev\n",
               path, streams.size(),

@@ -4,9 +4,8 @@
 // airport red. Here: an ASCII rendering of the synthetic city's photo grid
 // (darker = more photos) plus a CSV dump for plotting, and a check that the
 // hottest cells coincide with the ground-truth commercial/airport districts.
-#include <fstream>
-
 #include "bench_common.h"
+#include "support/atomic_file.h"
 
 using namespace cityhunter;
 
@@ -20,9 +19,13 @@ int main() {
               heat.cols(), heat.rows(), heat.cell_size(), heat.max_cell());
   std::printf("%s\n", heat.to_ascii(72).c_str());
 
-  std::ofstream csv("fig4_heatmap.csv");
-  csv << heat.to_csv();
-  std::printf("full grid written to fig4_heatmap.csv\n\n");
+  std::string csv_error;
+  if (support::write_file_atomic("fig4_heatmap.csv", heat.to_csv(),
+                                 &csv_error)) {
+    std::printf("full grid written to fig4_heatmap.csv\n\n");
+  } else {
+    std::printf("fig4_heatmap.csv not written: %s\n\n", csv_error.c_str());
+  }
 
   // Shape check: heat at district centres vs a quiet corner.
   for (const auto& d : world.city().districts()) {

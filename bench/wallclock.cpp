@@ -44,6 +44,7 @@
 #include "bench_common.h"
 #include "city_scale.h"
 #include "sim/parallel.h"
+#include "support/atomic_file.h"
 #include "support/thread_pool.h"
 
 using namespace cityhunter;
@@ -233,7 +234,10 @@ int main(int argc, char** argv) {
     return threads > hardware_threads;
   });
 
-  std::ofstream json("BENCH_wallclock.json");
+  // Built in memory and published with one atomic rename at the end: a
+  // crash mid-bench can no longer leave a torn half-JSON where the previous
+  // revision's numbers used to be.
+  std::ostringstream json;
   json << "{\n"
        << "  \"mix\": \"fig6 4x12\",\n"
        << "  \"runs\": " << runs.size() << ",\n"
@@ -260,12 +264,14 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   bool first = true;
+  double last_parallel_wall_s = serial_s;
   for (const std::size_t threads : thread_counts) {
     const auto t0 = std::chrono::steady_clock::now();
     sim::ParallelStats pstats;
     const auto parallel =
         sim::run_campaigns(world, runs, sim::ParallelConfig{threads}, &pstats);
     const double wall_s = seconds_since(t0);
+    last_parallel_wall_s = wall_s;
 
     bool same = parallel.size() == serial.size();
     for (std::size_t i = 0; same && i < serial.size(); ++i) {
@@ -299,6 +305,66 @@ int main(int argc, char** argv) {
     first = false;
   }
   json << "\n  ],\n";
+
+  // Supervisor pass: the same mix at the widest sweep width, but with
+  // crash-safe checkpointing every 8 completions — the configuration a
+  // long unattended campaign would actually run. Reports the supervisor
+  // counters and the checkpoint overhead vs the matching clean pass; the
+  // <2% overhead ceiling is enforced by tests/perf_smoke_test.
+  {
+    const std::size_t threads = thread_counts.back();
+    sim::ParallelConfig ckpt_cfg;
+    ckpt_cfg.threads = threads;
+    ckpt_cfg.checkpoint_path = "BENCH_wallclock.ckpt";
+    ckpt_cfg.checkpoint_every = 8;
+    // Best-of-2, like every other timing row on a 1-CPU container: the
+    // checkpoint cost itself is milliseconds, so a one-shot comparison
+    // would mostly report scheduler jitter.
+    sim::ParallelStats sstats;
+    std::vector<sim::RunOutput> supervised;
+    double ckpt_wall_s = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      sim::ParallelStats pass_stats;
+      auto outputs = sim::run_campaigns(world, runs, ckpt_cfg, &pass_stats);
+      const double wall = seconds_since(t0);
+      if (pass == 0 || wall < ckpt_wall_s) {
+        ckpt_wall_s = wall;
+        sstats = pass_stats;
+        supervised = std::move(outputs);
+      }
+    }
+    std::remove("BENCH_wallclock.ckpt");
+
+    bool same = supervised.size() == serial.size();
+    for (std::size_t i = 0; same && i < serial.size(); ++i) {
+      same = identical(serial[i], supervised[i]);
+    }
+    all_identical = all_identical && same;
+    const double ckpt_overhead_pct =
+        100.0 * (ckpt_wall_s - last_parallel_wall_s) / last_parallel_wall_s;
+    std::printf("supervised: %6.2f s at %zu threads with checkpoint every 8 "
+                "(overhead %+.1f%%) — %llu checkpoint writes, %llu bytes, "
+                "%llu retries, %llu timeouts   %s\n",
+                ckpt_wall_s, threads, ckpt_overhead_pct,
+                static_cast<unsigned long long>(sstats.checkpoint_writes),
+                static_cast<unsigned long long>(sstats.checkpoint_bytes),
+                static_cast<unsigned long long>(sstats.retries),
+                static_cast<unsigned long long>(sstats.timeouts),
+                same ? "bit-identical to serial" : "MISMATCH vs serial");
+    json << "  \"supervisor\": {\"threads\": " << threads
+         << ", \"checkpoint_every\": 8"
+         << ", \"wall_s\": " << ckpt_wall_s
+         << ", \"checkpoint_overhead_pct\": " << ckpt_overhead_pct
+         << ", \"retries\": " << sstats.retries
+         << ", \"timeouts\": " << sstats.timeouts
+         << ", \"event_budget_trips\": " << sstats.event_budget_trips
+         << ", \"checkpoint_writes\": " << sstats.checkpoint_writes
+         << ", \"checkpoint_bytes\": " << sstats.checkpoint_bytes
+         << ", \"checkpoint_write_failures\": "
+         << sstats.checkpoint_write_failures
+         << ", \"identical\": " << (same ? "true" : "false") << "},\n";
+  }
 
   // City-scale district (bench/city_scale.h): the batched SoA delivery
   // pipeline vs the pre-PR grid reference, at a size the harness can afford
@@ -384,6 +450,14 @@ int main(int argc, char** argv) {
   }
   json << "}\n";
 
+  std::string write_error;
+  const bool json_written = support::write_file_atomic(
+      "BENCH_wallclock.json", json.str(), &write_error);
+  if (!json_written) {
+    std::printf("  !! BENCH_wallclock.json not written: %s\n",
+                write_error.c_str());
+  }
+
   std::printf("\nserial heap allocations: %llu (%.4f per delivered frame)\n",
               static_cast<unsigned long long>(serial_allocs),
               allocs_per_frame);
@@ -392,7 +466,7 @@ int main(int argc, char** argv) {
                 "(serial %.2f s -> %.2f s)\n",
                 *prev_serial_s / serial_s, *prev_serial_s, serial_s);
   }
-  std::printf("\nwritten: BENCH_wallclock.json\n");
+  if (json_written) std::printf("\nwritten: BENCH_wallclock.json\n");
   if (!all_identical) {
     std::printf("ERROR: parallel output diverged from the serial loop\n");
     return 1;

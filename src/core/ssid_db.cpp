@@ -98,6 +98,19 @@ std::vector<const SsidRecord*> SsidDatabase::by_insertion() const {
   return out;
 }
 
+void SsidDatabase::restore(std::vector<SsidRecord> records) {
+  records_ = std::move(records);
+  index_.clear();
+  next_order_ = 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    index_.emplace(records_[i].ssid, i);
+    next_order_ = std::max(next_order_, records_[i].insertion_order + 1);
+  }
+  // Any cached sorted view predates the restore by construction; one bump
+  // invalidates it. The exact value never feeds into results.
+  ++version_;
+}
+
 std::size_t SsidDatabase::count_from(SsidSource source) const {
   std::size_t n = 0;
   for (const auto& r : records_) {

@@ -75,6 +75,16 @@ class SsidDatabase {
   /// Monotonic mutation counter — lets callers cache sorted views.
   std::uint64_t version() const { return version_; }
 
+  /// Insertion-ordered backing records — the database's full state, used by
+  /// the campaign checkpoint (sim/checkpoint) to serialize it verbatim.
+  const std::vector<SsidRecord>& records() const { return records_; }
+
+  /// Rebuild the database from checkpointed records (must be in insertion
+  /// order). The index and insertion counter are reconstructed so that
+  /// subsequent add()/record_hit() behaviour is bit-identical to the
+  /// database the records were captured from.
+  void restore(std::vector<SsidRecord> records);
+
  private:
   std::vector<SsidRecord> records_;
   std::unordered_map<std::string, std::size_t> index_;

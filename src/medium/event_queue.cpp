@@ -7,11 +7,10 @@ namespace cityhunter::medium {
 
 void EventQueue::push(SimTime t, Callback fn, std::shared_ptr<bool> alive) {
   if (t < now_) {
-    // Spell out both times: retry/backoff scheduling bugs show up as
-    // near-miss negative delays, and "in the past" alone is undebuggable.
-    throw std::invalid_argument(
-        "EventQueue: scheduling in the past (now=" + now_.str() +
-        ", requested=" + t.str() + ")");
+    // Typed, with both times attached: retry/backoff scheduling bugs show up
+    // as near-miss negative delays, and the campaign supervisor classifies
+    // the error instead of pattern-matching a what() string.
+    throw PastScheduleError(now_, t);
   }
   std::uint32_t slot;
   if (!free_slots_.empty()) {
@@ -53,8 +52,55 @@ void EventQueue::run_all() {
   }
 }
 
+void EventQueue::arm_guard(RunGuard guard) {
+  guard_ = guard;
+  guard_armed_ = guard.max_events > 0 || guard.deadline_s > 0.0 ||
+                 guard.cancel != nullptr;
+  guard_events_ = 0;
+  if (guard_.deadline_s > 0.0) {
+    guard_start_ = std::chrono::steady_clock::now();
+  }
+}
+
+void EventQueue::check_guard() {
+  if (guard_.cancel != nullptr &&
+      guard_.cancel->load(std::memory_order_relaxed)) {
+    throw RunAbortError(RunAbortError::Kind::kCancelled,
+                        "EventQueue: run cancelled after " +
+                            std::to_string(guard_events_) +
+                            " events (sim time " + now_.str() + ")");
+  }
+  if (guard_.max_events > 0 && guard_events_ >= guard_.max_events) {
+    throw RunAbortError(RunAbortError::Kind::kEventBudgetExceeded,
+                        "EventQueue: event budget of " +
+                            std::to_string(guard_.max_events) +
+                            " exhausted (sim time " + now_.str() + ")");
+  }
+  if (guard_.deadline_s > 0.0 &&
+      guard_events_ % kDeadlineCheckStride == 0) {
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      guard_start_)
+            .count();
+    if (elapsed_s > guard_.deadline_s) {
+      throw RunAbortError(RunAbortError::Kind::kDeadlineExceeded,
+                          "EventQueue: wallclock deadline of " +
+                              std::to_string(guard_.deadline_s) +
+                              " s exceeded after " +
+                              std::to_string(guard_events_) +
+                              " events (sim time " + now_.str() + ")");
+    }
+  }
+}
+
 bool EventQueue::step() {
   if (heap_.empty()) return false;
+  if (guard_armed_) {
+    // Before the pop: a tripped guard abandons the run with the queue state
+    // intact, and the throw unwinds out of run_until() into the supervisor.
+    check_guard();
+    ++guard_events_;
+  }
   const HeapEntry top = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();

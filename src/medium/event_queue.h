@@ -12,8 +12,11 @@
 // callers use post_at/post_in and pay for neither.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "support/sim_time.h"
@@ -22,6 +25,57 @@
 namespace cityhunter::medium {
 
 using support::SimTime;
+
+/// Scheduling an event before now() is always a caller bug (retry/backoff
+/// arithmetic gone negative). The structured fields let a supervisor report
+/// the near-miss precisely instead of forwarding an opaque string.
+class PastScheduleError : public std::invalid_argument {
+ public:
+  PastScheduleError(SimTime now, SimTime requested)
+      : std::invalid_argument("EventQueue: scheduling in the past (now=" +
+                              now.str() + ", requested=" + requested.str() +
+                              ")"),
+        now_(now),
+        requested_(requested) {}
+
+  SimTime now() const { return now_; }
+  SimTime requested() const { return requested_; }
+
+ private:
+  SimTime now_;
+  SimTime requested_;
+};
+
+/// Thrown out of step()/run_until() when a RunGuard limit trips. Carries a
+/// machine-readable kind so the campaign supervisor can classify the failure
+/// (deadline_exceeded / event_budget_exceeded / cancelled) without string
+/// matching.
+class RunAbortError : public std::runtime_error {
+ public:
+  enum class Kind { kDeadlineExceeded, kEventBudgetExceeded, kCancelled };
+
+  RunAbortError(Kind kind, std::string what)
+      : std::runtime_error(std::move(what)), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Cooperative run limits, checked at event-queue granularity: the event
+/// budget and cancel flag on every step, the wallclock deadline every
+/// kDeadlineCheckStride steps (a steady_clock read per event would dominate
+/// the ~100 ns event dispatch). Zero/null fields disable each limit; a
+/// default RunGuard never trips.
+struct RunGuard {
+  /// Max events executed after arming (0 = unlimited).
+  std::uint64_t max_events = 0;
+  /// Wallclock budget in seconds from arm_guard() (0 = unlimited).
+  double deadline_s = 0.0;
+  /// External cancellation flag, polled with relaxed loads (nullptr = none).
+  const std::atomic<bool>* cancel = nullptr;
+};
 
 /// Handle for cancelling a scheduled event. Cheap to copy; cancelling twice
 /// is a no-op.
@@ -87,6 +141,12 @@ class EventQueue {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Arm (or, with a default RunGuard, disarm) the cooperative run limits.
+  /// The deadline clock and event count start here. Limits fire from inside
+  /// step() as RunAbortError — the run's stack unwinds through run_until(),
+  /// and the supervisor classifies the abort.
+  void arm_guard(RunGuard guard);
+
   /// Run all events with time <= `until`, advancing now() as they fire.
   /// now() ends at `until` even if the queue drains earlier.
   void run_until(SimTime until);
@@ -124,9 +184,21 @@ class EventQueue {
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
+  /// Deadline re-check stride: a steady_clock read every event would cost
+  /// more than the event dispatch itself; every 2048 events bounds the
+  /// overshoot to a few hundred µs of wallclock at worst.
+  static constexpr std::uint64_t kDeadlineCheckStride = 2048;
+  /// Throws RunAbortError when an armed limit has tripped. Called once per
+  /// step, before the event fires.
+  void check_guard();
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   Stats stats_;
+  RunGuard guard_;
+  bool guard_armed_ = false;
+  std::uint64_t guard_events_ = 0;  // events executed since arm_guard()
+  std::chrono::steady_clock::time_point guard_start_{};
   std::vector<Event> slab_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  // binary min-heap by (time, seq)

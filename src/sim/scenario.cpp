@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <stdexcept>
 
 namespace cityhunter::sim {
 
@@ -23,6 +24,21 @@ std::vector<VenueSite> venue_sites() {
       {"shopping-center", {6200, 4100}, {"HarbourMall-Guest"}},
       {"railway-station", {3300, 7400}, {"RailwayStation-Free"}},
   };
+}
+
+/// Chaos hang: a self-rescheduling event that burns ~50 µs of wallclock per
+/// firing while advancing sim time 1 µs per event — the run makes no real
+/// progress, exactly like a wedged client loop, and only the cooperative
+/// watchdog (deadline or event budget) can end it.
+void schedule_chaos_hang(medium::EventQueue& events) {
+  events.post_in(support::SimTime::microseconds(1), [&events] {
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count() < 50e-6) {
+    }
+    schedule_chaos_hang(events);
+  });
 }
 
 }  // namespace
@@ -110,6 +126,16 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   const auto phase_seconds = [](Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
   };
+  // Supervisor-field validation, same style as Medium::Config (negated
+  // comparison so NaN is rejected too). Inside run_campaign, so a poisoned
+  // config fails this one run — isolated and classified by run_campaigns —
+  // instead of taking the campaign down.
+  if (!(cfg.deadline_s >= 0.0)) {
+    throw std::invalid_argument("RunConfig: deadline_s must be non-negative");
+  }
+  if (cfg.max_retries < 0 || cfg.max_retries > 8) {
+    throw std::invalid_argument("RunConfig: max_retries must be in [0, 8]");
+  }
   const auto t_setup = Clock::now();
 
   Rng rng(world.config().seed ^ (cfg.run_seed * 0x9e3779b97f4a7c15ULL));
@@ -247,6 +273,25 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
       });
     }
   }
+
+  if (cfg.chaos_hang) schedule_chaos_hang(events);
+  if (cfg.chaos_poison_schedule) {
+    // The poison fires from inside an event so the failure surfaces out of
+    // the run loop, exactly where a real backoff-arithmetic bug would.
+    events.post_in(support::SimTime::milliseconds(1), [&events] {
+      events.post_at(events.now() - support::SimTime::microseconds(1), [] {});
+    });
+  }
+
+  // Arm the cooperative watchdog for the event loop only: setup cost is the
+  // caller's (already profiled as setup_s), and the loop is where a run can
+  // actually wedge. A default guard (no deadline, no budget, no cancel
+  // flag) never trips and costs one branch per event.
+  medium::RunGuard guard;
+  guard.max_events = cfg.max_sim_events;
+  guard.deadline_s = cfg.deadline_s;
+  guard.cancel = cfg.cancel;
+  events.arm_guard(guard);
 
   const auto t_sim = Clock::now();
   events.run_until(cfg.duration);

@@ -4,6 +4,7 @@
 // deployed its Raspberry Pi.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -22,6 +23,7 @@
 #include "mobility/population.h"
 #include "obs/probe.h"
 #include "mobility/venue.h"
+#include "sim/run_error.h"
 #include "stats/campaign.h"
 #include "world/ap_generator.h"
 #include "world/city.h"
@@ -137,6 +139,39 @@ struct RunConfig {
   /// Observability. Off by default — a disabled probe costs one null test
   /// per hook and the run's outputs stay byte-identical.
   obs::Config obs{};
+
+  /// --- Supervisor limits (enforced cooperatively at event-queue
+  /// granularity; see sim/parallel and DESIGN.md §5f). run_campaign
+  /// validates these in the same style as Medium::Config: deadline_s >= 0
+  /// (NaN rejected), max_sim_events any, max_retries in [0, 8]. ---
+
+  /// Per-run wallclock deadline in seconds covering the event loop; 0 = no
+  /// deadline. A tripped deadline aborts the run with
+  /// RunErrorKind::kDeadlineExceeded.
+  double deadline_s = 0.0;
+  /// Sim-event budget for the run; 0 = unlimited. Exceeding it aborts with
+  /// RunErrorKind::kEventBudgetExceeded.
+  std::uint64_t max_sim_events = 0;
+  /// Additional attempts the campaign supervisor may spend when this run
+  /// fails with a retryable error, in [0, 8]. Retry schedules are
+  /// deterministic — see sim::retry_backoff().
+  int max_retries = 1;
+  /// External cancellation flag polled by the event loop (relaxed loads);
+  /// nullptr = not cancellable. A cancelled run is classified
+  /// RunErrorKind::kCancelled and never retried.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// --- Chaos injection (set by the supervisor's ChaosConfig on the first
+  /// attempt only; both default false and change nothing when unset). ---
+
+  /// Schedule a self-rescheduling busy-wait event so the run burns wallclock
+  /// without advancing sim time — a reproducible "hang" for the watchdog to
+  /// catch. Requires deadline_s or max_sim_events to terminate.
+  bool chaos_hang = false;
+  /// Post an event that then schedules into the past, poisoning the queue:
+  /// the run dies with medium::PastScheduleError, which the supervisor must
+  /// classify (regression net for the structured error taxonomy).
+  bool chaos_poison_schedule = false;
 };
 
 struct SeriesPoint {
@@ -185,10 +220,12 @@ struct RunOutput {
   std::vector<obs::TraceRecord> trace;
   /// Records the ring had to overwrite (0 when the capacity sufficed).
   std::uint64_t trace_dropped = 0;
-  /// Set by run_campaigns() when this run threw instead of completing:
-  /// "run_seed=<seed> venue=<name> attacker=<kind>: <what>". Empty on
+  /// Set by run_campaigns() when this run failed instead of completing:
+  /// structured kind (exception / deadline / event budget / retry-exhausted
+  /// / cancelled) plus the tagged "run_seed=<seed> venue=<name>
+  /// attacker=<kind>: <what>" message and the attempts consumed. kNone on
   /// success; a failed run's other fields are default-initialised.
-  std::string error;
+  RunError error;
 };
 
 /// Deploy `cfg.kind` in `cfg.venue` for `cfg.duration` and analyse. Pure in

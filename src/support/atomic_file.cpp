@@ -1,0 +1,94 @@
+#include "support/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace cityhunter::support {
+
+namespace {
+
+void set_error(std::string* error, const char* op, const std::string& path) {
+  if (error == nullptr) return;
+  *error = std::string(op) + " failed for " + path + ": " +
+           std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when the path has no slash) — the rename's
+/// durability depends on fsyncing this directory, not the file.
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view bytes,
+                       std::string* error) {
+  // Same-directory temp name: rename() is only atomic within a filesystem,
+  // and the pid suffix keeps concurrent writers (two benches in one tree)
+  // from trampling each other's temp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "open", tmp);
+    return false;
+  }
+
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  // File contents must be durable before the rename makes them visible:
+  // rename-before-fsync can expose a zero-length file after a crash.
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+
+  // fsync the directory so the rename itself is on disk; failure here is
+  // reported but the target already holds complete new contents.
+  const std::string dir = dir_of(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    set_error(error, "open(dir)", dir);
+    return false;
+  }
+  const bool dir_synced = ::fsync(dfd) == 0;
+  if (!dir_synced) set_error(error, "fsync(dir)", dir);
+  ::close(dfd);
+  return dir_synced;
+}
+
+}  // namespace cityhunter::support

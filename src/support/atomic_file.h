@@ -1,0 +1,25 @@
+// Crash-safe file replacement.
+//
+// A bench or checkpoint that dies mid-write must never leave a torn file
+// behind: a half-written BENCH_wallclock.json silently poisons the next
+// revision's speedup-vs-previous comparison, and a torn campaign checkpoint
+// would defeat the whole point of having one. write_file_atomic() gives the
+// POSIX durability contract: write to a same-directory temp file, fsync the
+// file, rename() over the target (atomic on POSIX), then fsync the directory
+// so the rename itself survives a power cut. Readers observe either the old
+// complete file or the new complete file — never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cityhunter::support {
+
+/// Atomically replace `path` with `bytes`. Returns true on success; on any
+/// failure the target file is left untouched (the temp file is unlinked on a
+/// best-effort basis) and `error`, when non-null, receives a description
+/// naming the failing syscall and errno.
+bool write_file_atomic(const std::string& path, std::string_view bytes,
+                       std::string* error = nullptr);
+
+}  // namespace cityhunter::support

@@ -77,7 +77,7 @@ class GoldenCampaignTest : public ::testing::Test {
 sim::World* GoldenCampaignTest::world_ = nullptr;
 
 void expect_matches(const sim::RunOutput& out, const GoldenRow& g) {
-  EXPECT_TRUE(out.error.empty()) << out.error;
+  EXPECT_FALSE(out.error.failed()) << out.error.str();
   EXPECT_EQ(out.result.total_clients, g.total_clients);
   EXPECT_EQ(out.result.direct_clients, g.direct_clients);
   EXPECT_EQ(out.result.broadcast_clients, g.broadcast_clients);

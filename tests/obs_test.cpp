@@ -317,7 +317,7 @@ TEST(ObsCampaign, HarvestIsIdenticalAtAnyThreadCount) {
 
   const auto& base = by_threads.front();
   for (const auto& out : base) {
-    ASSERT_TRUE(out.error.empty()) << out.error;
+    ASSERT_FALSE(out.error.failed()) << out.error.str();
     // The snapshot actually covers the promised series.
     const auto& snap = out.metrics;
     for (const char* name :

@@ -185,17 +185,22 @@ void expect_failure_isolated(const sim::World& world,
                              const std::vector<sim::RunOutput>& outputs) {
   ASSERT_EQ(outputs.size(), runs.size());
   // The poisoned run reports its identity and the exception text instead of
-  // taking the campaign down.
+  // taking the campaign down. Both attempts throw (the bad config is part
+  // of the run), so the default one-retry budget is exhausted.
   EXPECT_EQ(sim::failed_runs(outputs), 1u);
-  EXPECT_NE(outputs[1].error.find("run_seed=2"), std::string::npos)
-      << outputs[1].error;
-  EXPECT_NE(outputs[1].error.find("contention_factor"), std::string::npos)
-      << outputs[1].error;
+  EXPECT_EQ(outputs[1].error.kind, sim::RunErrorKind::kRetryExhausted)
+      << outputs[1].error.str();
+  EXPECT_EQ(outputs[1].error.attempts, 2u);
+  EXPECT_NE(outputs[1].error.message.find("run_seed=2"), std::string::npos)
+      << outputs[1].error.message;
+  EXPECT_NE(outputs[1].error.message.find("contention_factor"),
+            std::string::npos)
+      << outputs[1].error.message;
   EXPECT_EQ(outputs[1].result.total_clients, 0u);
   // Healthy neighbours are untouched: bit-identical to standalone runs.
   for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
     SCOPED_TRACE(i);
-    EXPECT_TRUE(outputs[i].error.empty()) << outputs[i].error;
+    EXPECT_FALSE(outputs[i].error.failed()) << outputs[i].error.str();
     expect_identical(sim::run_campaign(world, runs[i]), outputs[i]);
   }
 }
@@ -219,8 +224,10 @@ TEST(RunCampaigns, ThrowingRunIsIsolatedOnTheSerialPath) {
 TEST(RunCampaigns, FailedRunsCountsEveryError) {
   std::vector<sim::RunOutput> outputs(4);
   EXPECT_EQ(sim::failed_runs(outputs), 0u);
-  outputs[0].error = "run_seed=1 venue=v attacker=a: boom";
-  outputs[3].error = "run_seed=4 venue=v attacker=a: boom";
+  outputs[0].error.kind = sim::RunErrorKind::kException;
+  outputs[0].error.message = "run_seed=1 venue=v attacker=a: boom";
+  outputs[3].error.kind = sim::RunErrorKind::kDeadlineExceeded;
+  outputs[3].error.message = "run_seed=4 venue=v attacker=a: slow";
   EXPECT_EQ(sim::failed_runs(outputs), 2u);
 }
 
