@@ -21,6 +21,7 @@
 #include "bench_common.h"
 #include "city_scale.h"
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -98,6 +99,64 @@ void run_size(int radios, double sim_s, bool with_scan) {
       hit_rate * 100.0);
 }
 
+Medium::Config mixed_index_config() {
+  Medium::Config cfg;
+  cfg.channel_buckets = false;
+  return cfg;
+}
+
+// Index efficiency: the channel-partitioned buckets vs the pre-PR8
+// mixed-channel layout on the same district. Deliveries must agree exactly;
+// the table shows what partitioning removes — every off-channel candidate
+// the filter kernels used to load, test and discard (~2/3 of all loads on
+// the district's 1/6/11 plan).
+void run_index_efficiency(int radios, double sim_s) {
+  CityScaleParams params;
+  params.radios = radios;
+  params.duration = cityhunter::support::SimTime::seconds(sim_s);
+
+  // Warm pass, then best-of-2 per layout: same hygiene as run_scaling.
+  (void)run_city_scale(params, batched_config());
+  const auto best_of = [&params](const Medium::Config& cfg) {
+    CityScaleResult best = run_city_scale(params, cfg);
+    const CityScaleResult again = run_city_scale(params, cfg);
+    if (again.wall_s < best.wall_s) best = again;
+    return best;
+  };
+  const CityScaleResult part = best_of(batched_config());
+  const CityScaleResult mixed = best_of(mixed_index_config());
+  check_equal("mixed-index transmissions", part.transmissions,
+              mixed.transmissions);
+  check_equal("mixed-index deliveries", part.deliveries, mixed.deliveries);
+
+  const auto ratio = [](const CityScaleResult& r) {
+    return r.candidates_loaded > 0
+               ? static_cast<double>(r.wasted_candidates) /
+                     static_cast<double>(r.candidates_loaded)
+               : 0.0;
+  };
+  std::printf(
+      "\n  index efficiency at %d radios (channel plan 1/6/11)\n"
+      "  layout      | wall     | loaded      | wasted      | waste%% | "
+      "occupancy mean/max\n"
+      "  partitioned | %8.3fs | %11llu | %11llu | %5.1f%% | %.1f / %u\n"
+      "  mixed       | %8.3fs | %11llu | %11llu | %5.1f%% | %.1f / %u\n"
+      "  speedup vs mixed: %.2fx, wasted loads cut %.0fx\n",
+      radios, part.wall_s,
+      static_cast<unsigned long long>(part.candidates_loaded),
+      static_cast<unsigned long long>(part.wasted_candidates),
+      100.0 * ratio(part), part.mean_bucket_occupancy,
+      part.max_bucket_occupancy, mixed.wall_s,
+      static_cast<unsigned long long>(mixed.candidates_loaded),
+      static_cast<unsigned long long>(mixed.wasted_candidates),
+      100.0 * ratio(mixed), mixed.mean_bucket_occupancy,
+      mixed.max_bucket_occupancy,
+      part.wall_s > 0.0 ? mixed.wall_s / part.wall_s : 0.0,
+      static_cast<double>(mixed.wasted_candidates) /
+          static_cast<double>(std::max<std::uint64_t>(part.wasted_candidates,
+                                                      1)));
+}
+
 // Intra-run scaling: the same district once per worker count, every run
 // checked delivery-identical to the serial baseline (the sharded merge must
 // reorder nothing). Counts above the hardware are measured anyway — the
@@ -156,11 +215,13 @@ int main(int argc, char** argv) {
       "cache hit\n");
   if (smoke) {
     run_size(2000, 2.0, /*with_scan=*/true);
+    run_index_efficiency(2000, 2.0);
     run_scaling(2000, 2.0, /*smoke=*/true);
   } else {
     run_size(5000, 5.0, /*with_scan=*/true);
     run_size(10000, 5.0, /*with_scan=*/false);
     run_size(20000, 3.0, /*with_scan=*/false);
+    run_index_efficiency(20000, 3.0);
     run_scaling(10000, 3.0, /*smoke=*/false);
   }
   if (g_failures != 0) {

@@ -47,6 +47,7 @@ enum class Mode {
   kBatchedNoSimd,
   kBatchedSharded,
   kBatchedNoCache,
+  kBatchedMixedIndex,  // channel_buckets off: the pre-PR mixed-channel cells
   kGrid,
   kLegacyScan
 };
@@ -67,6 +68,9 @@ Medium::Config mode_config(Mode mode, int workers) {
       break;
     case Mode::kBatchedNoCache:
       cfg.pathloss_cache = false;
+      break;
+    case Mode::kBatchedMixedIndex:
+      cfg.channel_buckets = false;  // same results, off-channel loads return
       break;
     case Mode::kGrid:
       cfg.batched_fanout = false;
@@ -90,12 +94,17 @@ struct Crowd {
   std::vector<Radio> receivers;
   Radio tx;
 
-  Crowd(int radios, Mode mode, int workers)
+  /// mixed_channels spreads receivers over 1/6/11 (the urban channel plan)
+  /// instead of co-channel with the transmitter — the workload where the
+  /// channel-partitioned index stops paying for off-channel neighbours.
+  Crowd(int radios, Mode mode, int workers, bool mixed_channels = false)
       : medium(events, mode_config(mode, workers)) {
     support::Rng rng(7);
+    const std::uint8_t channels[] = {1, 6, 11};
     for (int i = 0; i < radios; ++i) {
+      const std::uint8_t ch = mixed_channels ? channels[rng.index(3)] : 6;
       receivers.push_back(medium.attach(
-          {rng.uniform(-600.0, 600.0), rng.uniform(-600.0, 600.0)}, 6, 15.0,
+          {rng.uniform(-600.0, 600.0), rng.uniform(-600.0, 600.0)}, ch, 15.0,
           &sink));
     }
     tx = medium.attach({0, 0}, 6, 20.0);
@@ -103,8 +112,9 @@ struct Crowd {
 };
 
 void deliver_loop(benchmark::State& state, Mode mode, bool move,
-                  int workers = 1) {
-  Crowd crowd(static_cast<int>(state.range(0)), mode, workers);
+                  int workers = 1, bool mixed_channels = false) {
+  Crowd crowd(static_cast<int>(state.range(0)), mode, workers,
+              mixed_channels);
   support::Rng rng(11);
   const auto frame = dot11::make_probe_response(
       dot11::MacAddress::random_local(rng), dot11::MacAddress::random_local(rng),
@@ -115,6 +125,8 @@ void deliver_loop(benchmark::State& state, Mode mode, bool move,
   crowd.tx.transmit(frame);
   crowd.events.run_all();
   const auto a0 = cityhunter::bench::alloc_count();
+  const auto loaded0 = crowd.medium.fanout_stats().candidates_loaded();
+  const auto matched0 = crowd.medium.fanout_stats().key_matched;
   for (auto _ : state) {
     if (move) {
       auto& r = crowd.receivers[mover++ % crowd.receivers.size()];
@@ -124,12 +136,87 @@ void deliver_loop(benchmark::State& state, Mode mode, bool move,
     crowd.events.run_all();
   }
   state.SetItemsProcessed(state.iterations());
+  const double iters = static_cast<double>(state.iterations());
   state.counters["delivered_per_tx"] =
-      static_cast<double>(crowd.sink.frames) /
-      static_cast<double>(state.iterations());
+      static_cast<double>(crowd.sink.frames) / iters;
   state.counters["allocs_per_tx"] =
-      static_cast<double>(cityhunter::bench::alloc_count() - a0) /
-      static_cast<double>(state.iterations());
+      static_cast<double>(cityhunter::bench::alloc_count() - a0) / iters;
+  // Index efficiency over the timed loop: bucket entries streamed into the
+  // filter kernels vs those that passed the fused key compare. The delta is
+  // pure waste — 0 with channel-partitioned buckets, every co-located
+  // off-channel radio with the mixed layout.
+  const auto loaded =
+      crowd.medium.fanout_stats().candidates_loaded() - loaded0;
+  const auto matched = crowd.medium.fanout_stats().key_matched - matched0;
+  state.counters["candidates_per_tx"] = static_cast<double>(loaded) / iters;
+  state.counters["wasted_per_tx"] =
+      static_cast<double>(loaded - matched) / iters;
+}
+
+/// Retune-dominated churn: every iteration hops one receiver to the next
+/// channel in the 1/6/11 plan (a bucket-to-bucket migration under the
+/// partitioned index) and every kTransmitEvery-th iteration broadcasts.
+/// Prices the append-and-deferred-merge insert against the churn rate; the
+/// mixed-index variant shows what the migration work buys back at probe
+/// time.
+void churn_loop(benchmark::State& state, Mode mode) {
+  constexpr int kTransmitEvery = 8;
+  Crowd crowd(static_cast<int>(state.range(0)), mode, /*workers=*/1,
+              /*mixed_channels=*/true);
+  support::Rng rng(11);
+  const auto frame = dot11::make_probe_response(
+      dot11::MacAddress::random_local(rng),
+      dot11::MacAddress::random_local(rng), "bench-ssid", 6, true);
+  const std::uint8_t channels[] = {1, 6, 11};
+  std::size_t tick = 0;
+  crowd.tx.transmit(frame);
+  crowd.events.run_all();
+  const auto a0 = cityhunter::bench::alloc_count();
+  for (auto _ : state) {
+    auto& r = crowd.receivers[tick % crowd.receivers.size()];
+    r.set_channel(channels[tick % 3]);
+    if (tick % kTransmitEvery == 0) {
+      crowd.tx.transmit(frame);
+      crowd.events.run_all();
+    }
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_op"] =
+      static_cast<double>(cityhunter::bench::alloc_count() - a0) / iters;
+  state.counters["delivered"] = static_cast<double>(crowd.sink.frames);
+}
+
+/// Attach/detach storm: each iteration detaches the oldest live receiver
+/// and attaches a fresh one (slot growth, bucket create/recycle, arena
+/// compaction); periodic transmits keep the probe path honest.
+void attach_churn_loop(benchmark::State& state, Mode mode) {
+  constexpr int kTransmitEvery = 8;
+  Crowd crowd(static_cast<int>(state.range(0)), mode, /*workers=*/1,
+              /*mixed_channels=*/true);
+  support::Rng rng(11);
+  const auto frame = dot11::make_probe_response(
+      dot11::MacAddress::random_local(rng),
+      dot11::MacAddress::random_local(rng), "bench-ssid", 6, true);
+  const std::uint8_t channels[] = {1, 6, 11};
+  std::size_t tick = 0;
+  crowd.tx.transmit(frame);
+  crowd.events.run_all();
+  for (auto _ : state) {
+    auto& victim = crowd.receivers[tick % crowd.receivers.size()];
+    if (victim.valid()) crowd.medium.detach(victim);
+    victim = crowd.medium.attach(
+        {rng.uniform(-600.0, 600.0), rng.uniform(-600.0, 600.0)},
+        channels[tick % 3], 15.0, &crowd.sink);
+    if (tick % kTransmitEvery == 0) {
+      crowd.tx.transmit(frame);
+      crowd.events.run_all();
+    }
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delivered"] = static_cast<double>(crowd.sink.frames);
 }
 
 void BM_DeliverBatched(benchmark::State& state) {
@@ -167,6 +254,29 @@ void BM_DeliverBatchedMoving(benchmark::State& state) {
 void BM_DeliverGridMoving(benchmark::State& state) {
   deliver_loop(state, Mode::kGrid, /*move=*/true);
 }
+// Channel-mixed crowds: the partitioned index streams only co-channel
+// candidates (wasted_per_tx = 0); the mixed layout pays ~2/3 of its loads
+// to the key filter on the 1/6/11 plan.
+void BM_DeliverBatchedChannelMixed(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatched, /*move=*/false, /*workers=*/1,
+               /*mixed_channels=*/true);
+}
+void BM_DeliverMixedIndexChannelMixed(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedMixedIndex, /*move=*/false, /*workers=*/1,
+               /*mixed_channels=*/true);
+}
+void BM_ChurnSetChannelStorm(benchmark::State& state) {
+  churn_loop(state, Mode::kBatched);
+}
+void BM_ChurnSetChannelStormMixedIndex(benchmark::State& state) {
+  churn_loop(state, Mode::kBatchedMixedIndex);
+}
+void BM_ChurnAttachDetach(benchmark::State& state) {
+  attach_churn_loop(state, Mode::kBatched);
+}
+void BM_ChurnAttachDetachMixedIndex(benchmark::State& state) {
+  attach_churn_loop(state, Mode::kBatchedMixedIndex);
+}
 
 BENCHMARK(BM_DeliverBatched)->Arg(100)->Arg(1000)->Arg(4000)->Arg(10000);
 BENCHMARK(BM_DeliverBatchedNoSimd)->Arg(1000)->Arg(4000)->Arg(10000);
@@ -178,6 +288,12 @@ BENCHMARK(BM_DeliverGrid)->Arg(100)->Arg(1000)->Arg(4000)->Arg(10000);
 BENCHMARK(BM_DeliverLegacyScan)->Arg(100)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_DeliverBatchedMoving)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_DeliverGridMoving)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_DeliverBatchedChannelMixed)->Arg(1000)->Arg(4000)->Arg(20000);
+BENCHMARK(BM_DeliverMixedIndexChannelMixed)->Arg(1000)->Arg(4000)->Arg(20000);
+BENCHMARK(BM_ChurnSetChannelStorm)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ChurnSetChannelStormMixedIndex)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ChurnAttachDetach)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ChurnAttachDetachMixedIndex)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace cityhunter::medium

@@ -12,6 +12,10 @@
 // as warmup, and each pass reports its PhaseProfile split (setup/sim/
 // analysis) so a real regression in the runner's setup path would show up
 // as a setup_s delta instead of hiding inside a single wallclock number.
+// PR8 finished the job: every pass that gets *compared* (serial baseline,
+// tracing, parallel sweep, supervised, warm-start) is best-of-2 on both
+// sides of the division, which removes the negative overhead artifacts the
+// one-shot comparisons used to publish on a 1-CPU container.
 //
 // Thread counts above the machine's actual hardware concurrency are skipped
 // (oversubscribed numbers on a smaller machine say nothing about the
@@ -163,15 +167,49 @@ int main(int argc, char** argv) {
     print_phases(sum_phases(warm));
   }
 
-  const std::uint64_t allocs_before = bench::alloc_count();
-  const auto t_serial = std::chrono::steady_clock::now();
+  // Timing hygiene round two (PR8): every pass that gets compared against
+  // the serial baseline — tracing, supervised — is best-of-2, so the
+  // baseline must be too, and the serial/traced passes are *interleaved*
+  // (serial, traced, serial, traced) so both sides of the overhead
+  // division see the same frequency/cache drift. One-shot ordered passes
+  // on a 1-CPU container let the *rerun* catch the scheduler in a better
+  // mood than the baseline, which is exactly how earlier revisions
+  // published negative tracing (-10%) and checkpoint (-2.9%) overheads
+  // that no code change explained.
+  std::vector<sim::RunConfig> traced_runs = runs;
+  for (auto& run : traced_runs) run.obs.enabled = true;
   std::vector<sim::RunOutput> serial;
-  serial.reserve(runs.size());
-  for (const auto& run : runs) {
-    serial.push_back(sim::run_campaign(world, run));
+  double serial_s = 0.0;
+  double traced_s = 0.0;
+  std::uint64_t serial_allocs = 0;
+  bool traced_same = true;
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::uint64_t a0 = bench::alloc_count();
+    const auto t_serial = std::chrono::steady_clock::now();
+    std::vector<sim::RunOutput> outputs;
+    outputs.reserve(runs.size());
+    for (const auto& run : runs) {
+      outputs.push_back(sim::run_campaign(world, run));
+    }
+    const double wall = seconds_since(t_serial);
+    if (pass == 0 || wall < serial_s) {
+      serial_s = wall;
+      serial_allocs = bench::alloc_count() - a0;
+      serial = std::move(outputs);
+    }
+
+    // Tracing overhead pass, back to back with the serial pass it will be
+    // divided against. The results must not change; identity is checked on
+    // every pass, not just the fast one.
+    const auto t_traced = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < traced_runs.size(); ++i) {
+      const auto out = sim::run_campaign(world, traced_runs[i]);
+      traced_same = traced_same && identical(serial[i], out);
+    }
+    const double traced_wall = seconds_since(t_traced);
+    if (pass == 0 || traced_wall < traced_s) traced_s = traced_wall;
   }
-  const double serial_s = seconds_since(t_serial);
-  const std::uint64_t serial_allocs = bench::alloc_count() - allocs_before;
+  const double trace_overhead_pct = 100.0 * (traced_s - serial_s) / serial_s;
   const sim::PhaseProfile serial_phases = sum_phases(serial);
 
   std::uint64_t frames = 0;
@@ -200,18 +238,6 @@ int main(int argc, char** argv) {
               100.0 * queue_agg.slab_reuse_ratio(),
               static_cast<unsigned long long>(queue_agg.slab_slots));
 
-  // Tracing overhead: rerun the same mix serially with the observability
-  // probe enabled and compare wallclock. The results must not change.
-  std::vector<sim::RunConfig> traced_runs = runs;
-  for (auto& run : traced_runs) run.obs.enabled = true;
-  const auto t_traced = std::chrono::steady_clock::now();
-  bool traced_same = true;
-  for (std::size_t i = 0; i < traced_runs.size(); ++i) {
-    const auto out = sim::run_campaign(world, traced_runs[i]);
-    traced_same = traced_same && identical(serial[i], out);
-  }
-  const double traced_s = seconds_since(t_traced);
-  const double trace_overhead_pct = 100.0 * (traced_s - serial_s) / serial_s;
   std::printf("tracing on: %6.2f s serial (overhead %+.1f%%)   %s\n",
               traced_s, trace_overhead_pct,
               traced_same ? "results identical"
@@ -264,15 +290,24 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   bool first = true;
-  double last_parallel_wall_s = serial_s;
   for (const std::size_t threads : thread_counts) {
-    const auto t0 = std::chrono::steady_clock::now();
+    // Best-of-2, matching the serial baseline the speedup divides by.
     sim::ParallelStats pstats;
-    const auto parallel =
-        sim::run_campaigns(world, runs, sim::ParallelConfig{threads}, &pstats);
-    const double wall_s = seconds_since(t0);
-    last_parallel_wall_s = wall_s;
-
+    std::vector<sim::RunOutput> parallel;
+    double wall_s = 0.0;
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      sim::ParallelStats pass_stats;
+      auto outputs =
+          sim::run_campaigns(world, runs, sim::ParallelConfig{threads},
+                             &pass_stats);
+      const double wall = seconds_since(t0);
+      if (pass == 0 || wall < wall_s) {
+        wall_s = wall;
+        pstats = pass_stats;
+        parallel = std::move(outputs);
+      }
+    }
     bool same = parallel.size() == serial.size();
     for (std::size_t i = 0; same && i < serial.size(); ++i) {
       same = identical(serial[i], parallel[i]);
@@ -309,21 +344,30 @@ int main(int argc, char** argv) {
   // Supervisor pass: the same mix at the widest sweep width, but with
   // crash-safe checkpointing every 8 completions — the configuration a
   // long unattended campaign would actually run. Reports the supervisor
-  // counters and the checkpoint overhead vs the matching clean pass; the
-  // <2% overhead ceiling is enforced by tests/perf_smoke_test.
+  // counters and the checkpoint overhead vs its own plain baseline, timed
+  // interleaved (plain, checkpointed, plain, checkpointed) so both sides
+  // of the division see the same machine drift — borrowing the sweep's
+  // wall time from minutes earlier is how the checkpoint overhead used to
+  // come out negative. The <2% overhead ceiling is enforced by
+  // tests/perf_smoke_test.
   {
     const std::size_t threads = thread_counts.back();
+    sim::ParallelConfig plain_cfg;
+    plain_cfg.threads = threads;
     sim::ParallelConfig ckpt_cfg;
     ckpt_cfg.threads = threads;
     ckpt_cfg.checkpoint_path = "BENCH_wallclock.ckpt";
     ckpt_cfg.checkpoint_every = 8;
-    // Best-of-2, like every other timing row on a 1-CPU container: the
-    // checkpoint cost itself is milliseconds, so a one-shot comparison
-    // would mostly report scheduler jitter.
     sim::ParallelStats sstats;
     std::vector<sim::RunOutput> supervised;
+    double plain_wall_s = 0.0;
     double ckpt_wall_s = 0.0;
     for (int pass = 0; pass < 2; ++pass) {
+      const auto t_plain = std::chrono::steady_clock::now();
+      (void)sim::run_campaigns(world, runs, plain_cfg);
+      const double plain_wall = seconds_since(t_plain);
+      if (pass == 0 || plain_wall < plain_wall_s) plain_wall_s = plain_wall;
+
       const auto t0 = std::chrono::steady_clock::now();
       sim::ParallelStats pass_stats;
       auto outputs = sim::run_campaigns(world, runs, ckpt_cfg, &pass_stats);
@@ -342,7 +386,7 @@ int main(int argc, char** argv) {
     }
     all_identical = all_identical && same;
     const double ckpt_overhead_pct =
-        100.0 * (ckpt_wall_s - last_parallel_wall_s) / last_parallel_wall_s;
+        100.0 * (ckpt_wall_s - plain_wall_s) / plain_wall_s;
     std::printf("supervised: %6.2f s at %zu threads with checkpoint every 8 "
                 "(overhead %+.1f%%) — %llu checkpoint writes, %llu bytes, "
                 "%llu retries, %llu timeouts   %s\n",
@@ -366,6 +410,60 @@ int main(int argc, char** argv) {
          << ", \"identical\": " << (same ? "true" : "false") << "},\n";
   }
 
+  // Warm-start setup sharing: the same 48-run mix serially through
+  // run_campaigns, cold (warm_start_setup off — every run rebuilds its
+  // WiGLE seed and venue locale from scratch) vs warm (one SetupCache
+  // snapshot per distinct setup, copied per run). Outputs must stay
+  // bit-identical; the whole win is setup_s. Best-of-2 per side, like every
+  // other comparison row.
+  bool warm_same = true;
+  {
+    const auto best_of_2 = [&](const sim::ParallelConfig& cfg,
+                               std::vector<sim::RunOutput>& keep) {
+      sim::PhaseProfile best{};
+      double best_wall = 0.0;
+      for (int pass = 0; pass < 2; ++pass) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto outputs = sim::run_campaigns(world, runs, cfg);
+        const double wall = seconds_since(t0);
+        if (pass == 0 || wall < best_wall) {
+          best_wall = wall;
+          best = sum_phases(outputs);
+          keep = std::move(outputs);
+        }
+      }
+      return best;
+    };
+    sim::ParallelConfig cold_cfg{1};
+    cold_cfg.warm_start_setup = false;
+    sim::ParallelConfig warm_cfg{1};
+    warm_cfg.warm_start_setup = true;
+    std::vector<sim::RunOutput> cold_out;
+    std::vector<sim::RunOutput> warm_out;
+    const sim::PhaseProfile cold_phases = best_of_2(cold_cfg, cold_out);
+    const sim::PhaseProfile warm_phases = best_of_2(warm_cfg, warm_out);
+    warm_same = cold_out.size() == serial.size() &&
+                warm_out.size() == serial.size();
+    for (std::size_t i = 0; warm_same && i < serial.size(); ++i) {
+      warm_same = identical(serial[i], cold_out[i]) &&
+                  identical(serial[i], warm_out[i]);
+    }
+    all_identical = all_identical && warm_same;
+    const double setup_speedup = warm_phases.setup_s > 0.0
+                                     ? cold_phases.setup_s / warm_phases.setup_s
+                                     : 0.0;
+    std::printf("warm start: setup %.3f s cold -> %.3f s warm (%.2fx) over "
+                "%zu serial runs   %s\n",
+                cold_phases.setup_s, warm_phases.setup_s, setup_speedup,
+                runs.size(),
+                warm_same ? "bit-identical to serial" : "MISMATCH vs serial");
+    json << "  \"warm_start\": {\"runs\": " << runs.size()
+         << ", \"setup_cold_s\": " << cold_phases.setup_s
+         << ", \"setup_warm_s\": " << warm_phases.setup_s
+         << ", \"setup_speedup\": " << setup_speedup
+         << ", \"identical\": " << (warm_same ? "true" : "false") << "},\n";
+  }
+
   // City-scale district (bench/city_scale.h): the batched SoA delivery
   // pipeline vs the pre-PR grid reference, at a size the harness can afford
   // to rerun every revision. fig_city_scale covers the full 5k–20k sweep.
@@ -381,8 +479,17 @@ int main(int argc, char** argv) {
         bench::run_city_scale(params, medium::Medium::Config{});
     const bench::CityScaleResult grid =
         bench::run_city_scale(params, grid_cfg);
+    // The pre-PR8 index: same batched pipeline, but per-cell buckets mix
+    // all channels, so the filter kernels stream (and discard) every
+    // co-located off-channel radio. Same deliveries, different loads.
+    medium::Medium::Config mixed_cfg;
+    mixed_cfg.channel_buckets = false;
+    const bench::CityScaleResult mixed =
+        bench::run_city_scale(params, mixed_cfg);
     const bool agree = batched.transmissions == grid.transmissions &&
-                       batched.deliveries == grid.deliveries;
+                       batched.deliveries == grid.deliveries &&
+                       mixed.transmissions == batched.transmissions &&
+                       mixed.deliveries == batched.deliveries;
     all_identical = all_identical && agree;
     const double cs_speedup =
         batched.wall_s > 0.0 ? grid.wall_s / batched.wall_s : 0.0;
@@ -392,11 +499,26 @@ int main(int argc, char** argv) {
                   static_cast<double>(batched.cache_hits +
                                       batched.cache_misses)
             : 0.0;
+    const double index_speedup =
+        batched.wall_s > 0.0 ? mixed.wall_s / batched.wall_s : 0.0;
+    const double waste_reduction =
+        static_cast<double>(mixed.wasted_candidates) /
+        static_cast<double>(std::max<std::uint64_t>(
+            batched.wasted_candidates, 1));
     std::printf("city scale: %d radios, %.0f s sim — grid %.3f s, batched "
                 "%.3f s (%.2fx), %.3gM deliveries/s   %s\n",
                 params.radios, params.duration.sec(), grid.wall_s,
                 batched.wall_s, cs_speedup, batched.deliveries_per_s / 1e6,
                 agree ? "pipelines agree" : "PIPELINE MISMATCH");
+    std::printf("  index: mixed-channel buckets %.3f s, wasted %llu of %llu "
+                "loads; partitioned wasted %llu (%.0fx fewer), "
+                "occupancy mean %.1f max %u\n",
+                mixed.wall_s,
+                static_cast<unsigned long long>(mixed.wasted_candidates),
+                static_cast<unsigned long long>(mixed.candidates_loaded),
+                static_cast<unsigned long long>(batched.wasted_candidates),
+                waste_reduction, batched.mean_bucket_occupancy,
+                batched.max_bucket_occupancy);
     json << "  \"city_scale\": {\"radios\": " << params.radios
          << ", \"sim_s\": " << params.duration.sec()
          << ", \"deliveries\": " << batched.deliveries
@@ -405,7 +527,17 @@ int main(int argc, char** argv) {
          << ", \"batched_speedup\": " << cs_speedup
          << ", \"deliveries_per_s\": " << batched.deliveries_per_s
          << ", \"pathloss_cache_hit_rate\": " << cs_hit_rate
-         << ", \"identical\": " << (agree ? "true" : "false") << ",\n";
+         << ", \"candidates_loaded\": " << batched.candidates_loaded
+         << ", \"key_matched\": " << batched.key_matched
+         << ", \"wasted_candidates\": " << batched.wasted_candidates
+         << ", \"mean_bucket_occupancy\": " << batched.mean_bucket_occupancy
+         << ", \"max_bucket_occupancy\": " << batched.max_bucket_occupancy
+         << ", \"identical\": " << (agree ? "true" : "false") << ",\n"
+         << "    \"mixed_index\": {\"wall_s\": " << mixed.wall_s
+         << ", \"candidates_loaded\": " << mixed.candidates_loaded
+         << ", \"wasted_candidates\": " << mixed.wasted_candidates
+         << ", \"speedup_vs_mixed\": " << index_speedup
+         << ", \"waste_reduction_x\": " << waste_reduction << "},\n";
 
     // Intra-run fanout trajectory on the same district: scalar vs SIMD at
     // one worker, then sharded worker counts the hardware can actually host

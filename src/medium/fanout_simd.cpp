@@ -19,10 +19,12 @@ std::size_t filter_scalar(const std::uint32_t* slots, const double* xs,
                           const double* ys, const std::uint16_t* keys,
                           std::size_t n, double tx_x, double tx_y,
                           double range_sq, std::uint16_t want,
-                          std::uint32_t self_slot, FanoutCandidate* out) {
+                          std::uint32_t self_slot, FanoutCandidate* out,
+                          std::size_t& key_matched) {
   std::size_t written = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (keys[i] != want) continue;
+    ++key_matched;
     if (slots[i] == self_slot) continue;
     const double dx = xs[i] - tx_x;
     const double dy = ys[i] - tx_y;
@@ -66,7 +68,7 @@ __attribute__((target("avx2"))) std::size_t filter_avx2(
     const std::uint32_t* slots, const double* xs, const double* ys,
     const std::uint16_t* keys, std::size_t n, double tx_x, double tx_y,
     double range_sq, std::uint16_t want, std::uint32_t self_slot,
-    FanoutCandidate* out) {
+    FanoutCandidate* out, std::size_t& key_matched) {
   std::size_t written = 0;
   const __m256d vtx = _mm256_set1_pd(tx_x);
   const __m256d vty = _mm256_set1_pd(tx_y);
@@ -90,6 +92,12 @@ __attribute__((target("avx2"))) std::size_t filter_avx2(
     // the 256-bit op density low: on license-throttling CPUs every avoided
     // ymm block also protects the clock of the scalar delivery code around
     // the kernel.
+    // Each matching lane sets two movemask bits, so popcount/2 counts the
+    // key-matched lanes — tallied before the range test, matching the
+    // scalar loop's count.
+    key_matched +=
+        static_cast<std::size_t>(std::popcount(static_cast<unsigned>(keymask))) / 2;
+
     if (std::popcount(static_cast<unsigned>(keymask)) == 2) {
       // Exactly one matching lane (each match sets two movemask bits).
       const int j = std::countr_zero(static_cast<unsigned>(keymask)) / 2;
@@ -135,7 +143,8 @@ __attribute__((target("avx2"))) std::size_t filter_avx2(
   }
   _mm256_zeroupper();
   written += filter_scalar(slots + i, xs + i, ys + i, keys + i, n - i, tx_x,
-                           tx_y, range_sq, want, self_slot, out + written);
+                           tx_y, range_sq, want, self_slot, out + written,
+                           key_matched);
   return written;
 }
 
@@ -223,17 +232,19 @@ std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
                           std::size_t n, double tx_x, double tx_y,
                           double range_sq, std::uint16_t want,
                           std::uint32_t self_slot, bool use_simd,
-                          FanoutCandidate* out) {
+                          FanoutCandidate* out, std::size_t* key_matched) {
+  std::size_t matched_local = 0;
+  std::size_t& matched = key_matched != nullptr ? *key_matched : matched_local;
 #if defined(__x86_64__)
   if (use_simd && n >= kSimdMinElems && fanout_simd_available()) {
     return filter_avx2(slots, xs, ys, keys, n, tx_x, tx_y, range_sq, want,
-                       self_slot, out);
+                       self_slot, out, matched);
   }
 #else
   (void)use_simd;
 #endif
   return filter_scalar(slots, xs, ys, keys, n, tx_x, tx_y, range_sq, want,
-                       self_slot, out);
+                       self_slot, out, matched);
 }
 
 void fanout_lut_eval(const PathLossLut& lut, double tx_dbm,

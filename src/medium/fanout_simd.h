@@ -57,13 +57,18 @@ bool fanout_simd_available();
 /// (x, y). Returns the number written. `use_simd` selects the vector path
 /// when the CPU has it and n is large enough to amortize the AVX entry cost
 /// (small slices run the scalar loop regardless); results are bit-identical
-/// either way, so the dispatch choice is invisible.
+/// either way, so the dispatch choice is invisible. When `key_matched` is
+/// non-null it is incremented by the number of entries whose key equaled
+/// `want` (before the self/range tests) — the complement against n is the
+/// index's wasted-candidate count, identical between the SIMD and scalar
+/// paths.
 std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
                           const double* ys, const std::uint16_t* keys,
                           std::size_t n, double tx_x, double tx_y,
                           double range_sq, std::uint16_t want,
                           std::uint32_t self_slot, bool use_simd,
-                          FanoutCandidate* out);
+                          FanoutCandidate* out,
+                          std::size_t* key_matched = nullptr);
 
 /// Evaluate the path-loss LUT for n survivors: cand[i].rx_dbm =
 /// lut.rx_power_dbm_sq(tx_dbm, cand[i].dist_sq), including the d² <= 1 m²

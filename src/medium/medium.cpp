@@ -123,62 +123,289 @@ std::uint64_t Medium::cell_of(Position pos) const {
   return cell_key(cell_coord(pos.x), cell_coord(pos.y));
 }
 
+std::uint32_t Medium::arena_alloc(std::uint32_t cap) {
+  const std::size_t off = arena_slots_.size();
+  arena_slots_.resize(off + cap);
+  arena_xs_.resize(off + cap);
+  arena_ys_.resize(off + cap);
+  arena_keys_.resize(off + cap);
+  return static_cast<std::uint32_t>(off);
+}
+
+void Medium::bucket_grow(BucketRef& b) {
+  const std::uint32_t new_cap = std::max<std::uint32_t>(4, b.capacity * 2);
+  const std::uint32_t off = arena_alloc(new_cap);
+  std::copy_n(arena_slots_.begin() + b.offset, b.size,
+              arena_slots_.begin() + off);
+  std::copy_n(arena_xs_.begin() + b.offset, b.size, arena_xs_.begin() + off);
+  std::copy_n(arena_ys_.begin() + b.offset, b.size, arena_ys_.begin() + off);
+  std::copy_n(arena_keys_.begin() + b.offset, b.size,
+              arena_keys_.begin() + off);
+  arena_garbage_ += b.capacity;
+  b.offset = off;
+  b.capacity = new_cap;
+}
+
+void Medium::maybe_compact_arena() {
+  // Compact once abandoned windows outgrow the live population (and are
+  // worth the rewrite at all): arena length stays O(live), and steady-state
+  // churn — which grows buckets only until their capacity fits the cell —
+  // almost never trips it.
+  constexpr std::size_t kMinGarbage = 4096;
+  if (arena_garbage_ < kMinGarbage || arena_garbage_ <= arena_live_) return;
+  std::vector<std::uint32_t> slots;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::uint16_t> keys;
+  const std::size_t want = arena_live_ + arena_live_ / 4 + 64;
+  slots.reserve(want);
+  xs.reserve(want);
+  ys.reserve(want);
+  keys.reserve(want);
+  for (auto& [cell, ce] : cells_) {
+    for (auto& [part, bid] : ce.parts) {
+      BucketRef& b = buckets_[bid];
+      // Quarter-headroom per bucket so the next few inserts don't regrow
+      // immediately; slack is reserved capacity, not garbage.
+      const std::uint32_t cap = b.size + b.size / 4 + 2;
+      const std::uint32_t off = static_cast<std::uint32_t>(slots.size());
+      slots.insert(slots.end(), arena_slots_.begin() + b.offset,
+                   arena_slots_.begin() + b.offset + b.size);
+      xs.insert(xs.end(), arena_xs_.begin() + b.offset,
+                arena_xs_.begin() + b.offset + b.size);
+      ys.insert(ys.end(), arena_ys_.begin() + b.offset,
+                arena_ys_.begin() + b.offset + b.size);
+      keys.insert(keys.end(), arena_keys_.begin() + b.offset,
+                  arena_keys_.begin() + b.offset + b.size);
+      slots.resize(off + cap);
+      xs.resize(off + cap);
+      ys.resize(off + cap);
+      keys.resize(off + cap);
+      b.offset = off;
+      b.capacity = cap;
+    }
+  }
+  arena_slots_.swap(slots);
+  arena_xs_.swap(xs);
+  arena_ys_.swap(ys);
+  arena_keys_.swap(keys);
+  arena_garbage_ = 0;
+}
+
+Medium::BucketRef* Medium::find_bucket_in(CellEntry& ce, std::uint16_t part) {
+  for (auto& [p, bid] : ce.parts) {
+    if (p == part) return &buckets_[bid];
+    if (p > part) break;  // directory is sorted by partition key
+  }
+  return nullptr;
+}
+
+Medium::BucketRef* Medium::find_bucket(std::uint64_t cell,
+                                       std::uint16_t part) {
+  const auto it = cells_.find(cell);
+  if (it == cells_.end()) return nullptr;
+  return find_bucket_in(it->second, part);
+}
+
+Medium::BucketRef& Medium::find_or_create_bucket(std::uint64_t cell,
+                                                 std::uint16_t part) {
+  CellEntry& ce = cells_[cell];
+  const auto it = std::lower_bound(
+      ce.parts.begin(), ce.parts.end(), part,
+      [](const auto& e, std::uint16_t p) { return e.first < p; });
+  if (it != ce.parts.end() && it->first == part) return buckets_[it->second];
+  std::uint32_t id;
+  if (!free_buckets_.empty()) {
+    id = free_buckets_.back();
+    free_buckets_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  ce.parts.insert(it, {part, id});
+  BucketRef& b = buckets_[id];
+  b.capacity = 4;
+  b.offset = arena_alloc(b.capacity);
+  b.size = 0;
+  b.sorted = 0;
+  return b;
+}
+
+std::size_t Medium::bucket_locate(const BucketRef& b,
+                                  std::uint32_t slot) const {
+  const std::uint32_t* first = arena_slots_.data() + b.offset;
+  const std::uint32_t* last = first + b.sorted;
+  const std::uint32_t* p = std::lower_bound(first, last, slot);
+  if (p != last && *p == slot) return static_cast<std::size_t>(p - first);
+  for (std::size_t k = b.sorted; k < b.size; ++k) {
+    if (first[k] == slot) return k;
+  }
+  return kNpos;
+}
+
+void Medium::bucket_normalize(BucketRef& b) {
+  if (b.sorted == b.size) return;
+  const std::size_t off = b.offset;
+  const std::size_t nt = b.size - b.sorted;
+  tail_scratch_.clear();
+  tail_scratch_.reserve(nt);
+  for (std::size_t k = b.sorted; k < b.size; ++k) {
+    tail_scratch_.push_back({arena_slots_[off + k], arena_xs_[off + k],
+                             arena_ys_[off + k], arena_keys_[off + k]});
+  }
+  std::sort(tail_scratch_.begin(), tail_scratch_.end(),
+            [](const TailEntry& a, const TailEntry& b) {
+              return a.slot < b.slot;
+            });
+  // Backward merge of the sorted tail into the sorted prefix, in place. A
+  // slot lives in exactly one bucket, so there are no duplicates and the
+  // strict comparison suffices.
+  std::size_t i = b.sorted;
+  std::size_t j = nt;
+  std::size_t dst = b.size;
+  while (j > 0) {
+    --dst;
+    if (i > 0 && arena_slots_[off + i - 1] > tail_scratch_[j - 1].slot) {
+      --i;
+      arena_slots_[off + dst] = arena_slots_[off + i];
+      arena_xs_[off + dst] = arena_xs_[off + i];
+      arena_ys_[off + dst] = arena_ys_[off + i];
+      arena_keys_[off + dst] = arena_keys_[off + i];
+    } else {
+      --j;
+      const TailEntry& e = tail_scratch_[j];
+      arena_slots_[off + dst] = e.slot;
+      arena_xs_[off + dst] = e.x;
+      arena_ys_[off + dst] = e.y;
+      arena_keys_[off + dst] = e.key;
+    }
+  }
+  b.sorted = b.size;
+}
+
 void Medium::grid_insert(std::uint32_t slot, RadioState& st) {
   st.cell = cell_of(st.pos);
+  st.part = partition_of(slot);
   st.in_grid = true;
-  Bucket& b = cells_[st.cell];
-  // Sorted insert keeps every bucket in ascending slot order for the merge
-  // fanout; position and listening key ride along at the same index so the
-  // filter kernels stream the bucket without touching the global SoA. A
-  // freshly attached slot is the global maximum, so the common case is an
-  // O(1) append; only cell migration pays the shift.
-  if (b.slots.empty() || b.slots.back() < slot) {
-    b.slots.push_back(slot);
-    b.xs.push_back(soa_x_[slot]);
-    b.ys.push_back(soa_y_[slot]);
-    b.keys.push_back(soa_key_[slot]);
-  } else {
-    const auto it = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
-    const std::size_t idx = static_cast<std::size_t>(it - b.slots.begin());
-    b.slots.insert(it, slot);
-    b.xs.insert(b.xs.begin() + idx, soa_x_[slot]);
-    b.ys.insert(b.ys.begin() + idx, soa_y_[slot]);
-    b.keys.insert(b.keys.begin() + idx, soa_key_[slot]);
+  BucketRef& b = find_or_create_bucket(st.cell, st.part);
+  if (b.size == b.capacity) bucket_grow(b);
+  const std::size_t at = static_cast<std::size_t>(b.offset) + b.size;
+  arena_slots_[at] = slot;
+  arena_xs_[at] = soa_x_[slot];
+  arena_ys_[at] = soa_y_[slot];
+  arena_keys_[at] = soa_key_[slot];
+  // A fresh attach is the global slot maximum: the append extends the
+  // sorted prefix in O(1). Churn migration (move / channel change) appends
+  // to the unsorted tail instead — also O(1) — and the tail is merged at
+  // the bucket's next probe, so a churn storm never pays the old
+  // per-element O(occupancy) sorted insert.
+  if (b.sorted == b.size &&
+      (b.size == 0 || arena_slots_[b.offset + b.size - 1] < slot)) {
+    ++b.sorted;
   }
+  ++b.size;
+  ++arena_live_;
+  maybe_compact_arena();
 }
 
 void Medium::grid_erase(RadioState& st, std::uint32_t slot) {
   if (!st.in_grid) return;
-  auto it = cells_.find(st.cell);
-  if (it != cells_.end()) {
-    Bucket& b = it->second;
-    const auto pos = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
-    if (pos != b.slots.end() && *pos == slot) {
-      const std::size_t idx = static_cast<std::size_t>(pos - b.slots.begin());
-      b.slots.erase(pos);
-      b.xs.erase(b.xs.begin() + idx);
-      b.ys.erase(b.ys.begin() + idx);
-      b.keys.erase(b.keys.begin() + idx);
-    }
-    if (b.slots.empty()) cells_.erase(it);
-  }
   st.in_grid = false;
+  const auto it = cells_.find(st.cell);
+  if (it == cells_.end()) return;
+  CellEntry& ce = it->second;
+  const auto pit = std::lower_bound(
+      ce.parts.begin(), ce.parts.end(), st.part,
+      [](const auto& e, std::uint16_t p) { return e.first < p; });
+  if (pit == ce.parts.end() || pit->first != st.part) return;
+  const std::uint32_t bid = pit->second;
+  BucketRef& b = buckets_[bid];
+  const std::size_t off = b.offset;
+  const std::size_t idx = bucket_locate(b, slot);
+  if (idx == kNpos) return;
+  if (idx < b.sorted) {
+    // Shift the rest left; the prefix stays sorted and the tail stays
+    // contiguous (its internal order is free).
+    std::copy(arena_slots_.begin() + off + idx + 1,
+              arena_slots_.begin() + off + b.size,
+              arena_slots_.begin() + off + idx);
+    std::copy(arena_xs_.begin() + off + idx + 1,
+              arena_xs_.begin() + off + b.size, arena_xs_.begin() + off + idx);
+    std::copy(arena_ys_.begin() + off + idx + 1,
+              arena_ys_.begin() + off + b.size, arena_ys_.begin() + off + idx);
+    std::copy(arena_keys_.begin() + off + idx + 1,
+              arena_keys_.begin() + off + b.size,
+              arena_keys_.begin() + off + idx);
+    --b.sorted;
+  } else {
+    // Tail member: swap the last tail element into the hole.
+    const std::size_t last = b.size - 1;
+    arena_slots_[off + idx] = arena_slots_[off + last];
+    arena_xs_[off + idx] = arena_xs_[off + last];
+    arena_ys_[off + idx] = arena_ys_[off + last];
+    arena_keys_[off + idx] = arena_keys_[off + last];
+  }
+  --b.size;
+  --arena_live_;
+  if (b.size == 0) {
+    arena_garbage_ += b.capacity;
+    free_buckets_.push_back(bid);
+    ce.parts.erase(pit);
+    if (ce.parts.empty()) cells_.erase(it);
+  }
+}
+
+void Medium::update_soa_key(std::uint32_t slot) {
+  const RadioState& st = slots_[slot];
+  const std::uint16_t key = st.attached && st.sink != nullptr
+                                ? static_cast<std::uint16_t>(st.channel) + 1
+                                : 0;
+  const std::uint16_t old = soa_key_[slot];
+  soa_key_[slot] = key;
+  if (!st.in_grid || key == old) return;
+  if (cfg_.channel_buckets) {
+    // The partition IS the fused key: a key change moves the radio to its
+    // new (cell, key) bucket. The erase pays at most one prefix shift; the
+    // re-insert is an O(1) churn-tail append.
+    RadioState& mut = slots_[slot];
+    grid_erase(mut, slot);
+    grid_insert(slot, mut);
+  } else {
+    bucket_sync_key(slot);
+  }
 }
 
 void Medium::bucket_sync_key(std::uint32_t slot) {
-  const auto it = cells_.find(slots_[slot].cell);
-  if (it == cells_.end()) return;
-  Bucket& b = it->second;
-  const auto pos = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
-  if (pos != b.slots.end() && *pos == slot) {
-    b.keys[static_cast<std::size_t>(pos - b.slots.begin())] = soa_key_[slot];
-  }
+  const RadioState& st = slots_[slot];
+  BucketRef* b = find_bucket(st.cell, st.part);
+  if (b == nullptr) return;
+  const std::size_t idx = bucket_locate(*b, slot);
+  if (idx != kNpos) arena_keys_[b->offset + idx] = soa_key_[slot];
+}
+
+Medium::BucketOccupancy Medium::bucket_occupancy() const {
+  BucketOccupancy occ;
+  for_each_bucket([&occ](std::uint16_t, std::uint32_t size) {
+    ++occ.buckets;
+    occ.radios += size;
+    occ.max_occupancy = std::max(occ.max_occupancy, size);
+  });
+  return occ;
 }
 
 void Medium::grid_rebuild() {
   cells_.clear();
+  buckets_.clear();
+  free_buckets_.clear();
+  arena_slots_.clear();
+  arena_xs_.clear();
+  arena_ys_.clear();
+  arena_keys_.clear();
+  arena_live_ = 0;
+  arena_garbage_ = 0;
   cell_size_ = std::max(1.0, propagation_.max_range(max_tx_power_dbm_));
-  // active_slots_ is sorted, so every bucket is built by pure appends.
+  // active_slots_ is sorted, so every bucket is built by pure sorted-prefix
+  // appends.
   for (const std::uint32_t slot : active_slots_) {
     grid_insert(slot, slots_[slot]);
   }
@@ -286,14 +513,12 @@ void Medium::set_position(RadioId id, Position pos) {
   const std::uint64_t key = cell_of(pos);
   if (st.in_grid && key == st.cell) {
     // Same cell: refresh the bucket's position mirror in place.
-    const auto it = cells_.find(st.cell);
-    if (it != cells_.end()) {
-      Bucket& b = it->second;
-      const auto p = std::lower_bound(b.slots.begin(), b.slots.end(), slot);
-      if (p != b.slots.end() && *p == slot) {
-        const std::size_t idx = static_cast<std::size_t>(p - b.slots.begin());
-        b.xs[idx] = pos.x;
-        b.ys[idx] = pos.y;
+    BucketRef* b = find_bucket(st.cell, st.part);
+    if (b != nullptr) {
+      const std::size_t idx = bucket_locate(*b, slot);
+      if (idx != kNpos) {
+        arena_xs_[b->offset + idx] = pos.x;
+        arena_ys_[b->offset + idx] = pos.y;
       }
     }
     return;
@@ -469,23 +694,24 @@ void Medium::run_shard_chunk(const ShardJob& job, std::size_t chunk,
                              ShardScratch& scratch) const {
   scratch.cand.clear();
   scratch.nruns = 0;
+  scratch.key_matched = 0;
   const std::size_t lo = job.split[chunk];
   const std::size_t hi = job.split[chunk + 1];
-  // The ≤9 bucket slices live in separate heap blocks, so the filter's first
-  // touch of each is a cold line: profiled at city scale, memory latency —
-  // not arithmetic — dominates the per-slice cost. Kick off the next slice's
-  // key/coordinate loads while the current one filters.
-  const auto prefetch_bucket = [](const Bucket& b) {
-    __builtin_prefetch(b.keys.data());
-    __builtin_prefetch(b.xs.data());
-    __builtin_prefetch(b.ys.data());
+  // The ≤9 bucket slices live in different arena windows, so the filter's
+  // first touch of each can be a cold line: profiled at city scale, memory
+  // latency — not arithmetic — dominates the per-slice cost. Kick off the
+  // next slice's key/coordinate loads while the current one filters.
+  const auto prefetch_bucket = [](const BucketView& b) {
+    __builtin_prefetch(b.keys);
+    __builtin_prefetch(b.xs);
+    __builtin_prefetch(b.ys);
   };
-  if (job.nbuckets > 0) prefetch_bucket(*job.buckets[0]);
+  if (job.nbuckets > 0) prefetch_bucket(job.views[0]);
   std::size_t base = 0;  // first concatenated index of the current bucket
   for (int i = 0; i < job.nbuckets && base < hi; ++i) {
-    const Bucket& b = *job.buckets[i];
-    if (i + 1 < job.nbuckets) prefetch_bucket(*job.buckets[i + 1]);
-    const std::size_t count = b.size();
+    const BucketView& b = job.views[i];
+    if (i + 1 < job.nbuckets) prefetch_bucket(job.views[i + 1]);
+    const std::size_t count = b.size;
     const std::size_t from = std::max(lo, base);
     const std::size_t to = std::min(hi, base + count);
     base += count;
@@ -495,9 +721,9 @@ void Medium::run_shard_chunk(const ShardJob& job, std::size_t chunk,
     const std::size_t start = scratch.cand.size();
     scratch.cand.resize(start + len);
     const std::size_t got = fanout_filter(
-        b.slots.data() + off, b.xs.data() + off, b.ys.data() + off,
-        b.keys.data() + off, len, job.tx_x, job.tx_y, job.range_sq, job.want,
-        job.self_slot, job.use_simd, scratch.cand.data() + start);
+        b.slots + off, b.xs + off, b.ys + off, b.keys + off, len, job.tx_x,
+        job.tx_y, job.range_sq, job.want, job.self_slot, job.use_simd,
+        scratch.cand.data() + start, &scratch.key_matched);
     scratch.cand.resize(start + got);
     if (got > 0) {
       // A chunk is contiguous over the ≤9-bucket probe, so it overlaps at
@@ -541,13 +767,22 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
   const std::uint16_t want = static_cast<std::uint16_t>(
       static_cast<std::uint16_t>(channel) + 1);
 
-  // Collect the candidate buckets of the 3x3 probe. One uint16 compare in
-  // the filter kernel covers the attached/sink/channel filters (the fused
-  // bucket key), and the range check happens in the squared-distance domain
-  // — no sqrt/log10 for radios that turn out to be out of range. Buckets
-  // are slot-sorted, so every filtered slice comes out pre-sorted for the
-  // merge below.
-  const Bucket* buckets[9];  // the range box spans at most 3x3 cells
+  // Collect the candidate buckets of the 3x3 probe. With channel_buckets
+  // the probe streams only the (cell, want-key) partition — radios on other
+  // channels (and non-listeners, parked in partition 0) never cost a cache
+  // line; without it, the single partition-0 bucket holds the whole cell and
+  // the kernel's fused uint16 key compare does the filtering, exactly as
+  // before. Either way the range check happens in the squared-distance
+  // domain — no sqrt/log10 for radios that turn out to be out of range —
+  // and buckets are normalized to ascending slot order here (merging any
+  // churn tail) so every filtered slice comes out pre-sorted for the merge
+  // below. Views are captured AFTER all normalization: normalize mutates
+  // arena contents in place but never reallocates, and inserts (which can
+  // grow/compact the arena) only happen from sink callbacks, which run
+  // strictly after the filter stage reads these views.
+  ShardJob job;
+  job.medium = this;
+  const std::uint16_t probe_part = cfg_.channel_buckets ? want : 0;
   int nbuckets = 0;
   std::size_t total = 0;
   const std::int64_t cx0 = cell_coord(tx_pos.x - re.box_r);
@@ -557,9 +792,17 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
   for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
     for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
       const auto cell = cells_.find(cell_key(cx, cy));
-      if (cell == cells_.end() || cell->second.slots.empty()) continue;
-      buckets[nbuckets++] = &cell->second;
-      total += cell->second.size();
+      if (cell == cells_.end()) continue;
+      BucketRef* b = find_bucket_in(cell->second, probe_part);
+      if (b == nullptr || b->size == 0) continue;
+      bucket_normalize(*b);
+      BucketView& v = job.views[nbuckets++];
+      v.slots = arena_slots_.data() + b->offset;
+      v.xs = arena_xs_.data() + b->offset;
+      v.ys = arena_ys_.data() + b->offset;
+      v.keys = arena_keys_.data() + b->offset;
+      v.size = b->size;
+      total += b->size;
     }
   }
 
@@ -567,9 +810,6 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
   (use_simd_ ? fanout_stats_.simd_candidates
              : fanout_stats_.scalar_candidates) += total;
 
-  ShardJob job;
-  job.medium = this;
-  job.buckets = buckets;
   job.nbuckets = nbuckets;
   job.tx_x = tx_pos.x;
   job.tx_y = tx_pos.y;
@@ -613,6 +853,11 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
     }
   } else {
     run_shard_chunk(job, 0, scratches[0]);
+  }
+  // Summed on the calling thread after the join — workers only touch their
+  // private scratch.
+  for (std::size_t k = 0; k < chunks; ++k) {
+    fanout_stats_.key_matched += scratches[k].key_matched;
   }
 
   // Fixed-order merge by repeated min-pick over every worker's sorted runs:
@@ -730,18 +975,25 @@ void Medium::deliver(RadioId from, const dot11::Frame& frame,
       for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
         const auto cell = cells_.find(cell_key(cx, cy));
         if (cell == cells_.end()) continue;
-        for (const std::uint32_t slot : cell->second.slots) {
-          const RadioState& st = slots_[slot];
-          const RadioId id = static_cast<RadioId>(slot) + 1;
-          if (id == from || st.channel != channel || st.sink == nullptr) {
-            continue;
+        // Every partition of the cell is scanned and filtered on live state
+        // (the sort below erases partition order), so this reference path is
+        // insensitive to how channel_buckets splits the cell.
+        for (const auto& [part, bid] : cell->second.parts) {
+          const BucketRef& b = buckets_[bid];
+          for (std::uint32_t k = 0; k < b.size; ++k) {
+            const std::uint32_t slot = arena_slots_[b.offset + k];
+            const RadioState& st = slots_[slot];
+            const RadioId id = static_cast<RadioId>(slot) + 1;
+            if (id == from || st.channel != channel || st.sink == nullptr) {
+              continue;
+            }
+            targets.push_back({id, slot, distance(tx_pos, st.pos)});
           }
-          targets.push_back({id, slot, distance(tx_pos, st.pos)});
         }
       }
     }
-    // Buckets come back in hash order; sort so the fanout matches the
-    // legacy id-ordered scan bit for bit.
+    // Buckets come back in hash/partition order; sort so the fanout matches
+    // the legacy id-ordered scan bit for bit.
     std::sort(targets.begin(), targets.end(),
               [](const Candidate& a, const Candidate& b) { return a.id < b.id; });
   } else {

@@ -27,6 +27,23 @@
 // retained behind Config toggles and always used on the fault path, where
 // the erasure draw must see bit-identical RX power.
 //
+// Spatial index (default layout): buckets are keyed by (cell, fused
+// listening key), so the 3x3 probe streams only radios that can actually
+// hear the transmission's channel — at city channel mixes, two thirds of a
+// mixed bucket used to cost a cache line each just to fail the key compare.
+// Bucket storage (slots/xs/ys/keys) lives in one compacted slab arena of
+// four parallel arrays instead of per-cell heap vectors scattered by the
+// cell map, so a probe's candidate stream is contiguous lines. Churn
+// (attach/detach/set_position/set_channel/set_sink) migrates radios between
+// buckets incrementally: out-of-order arrivals append to a per-bucket
+// unsorted tail that is merged into the sorted prefix lazily, at the
+// bucket's next probe — an attach storm into one cell is amortized O(1) per
+// radio instead of the old O(occupancy) sorted insert. Buckets still expose
+// ascending slot order to every probe, so the merge fanout (and the fault
+// draw order with it) is unchanged; Config::channel_buckets = false keeps
+// the PR-6 one-mixed-bucket-per-cell layout for A/B benchmarks, with
+// byte-identical results either way.
+//
 // The gather/filter and LUT stages additionally run through 4-wide AVX2
 // lanes (medium/fanout_simd, runtime-detected, bit-identical scalar
 // fallback) and can be sharded across intra-run worker threads: contiguous
@@ -96,6 +113,15 @@ class Medium {
     /// hit it on every beacon. Stores exactly what the LUT/exact path would
     /// compute, so toggling it cannot change results.
     bool pathloss_cache = true;
+    /// Partition grid buckets by the fused listening key (channel + 1, or 0
+    /// for radios that cannot receive): the 3x3 probe then streams only
+    /// matching-channel listeners instead of loading every co-located radio
+    /// and discarding off-channel ones in the filter kernel. Disable to keep
+    /// one mixed bucket per cell (the pre-partition layout, for A/B
+    /// benchmarks). Results are byte-identical either way — the kernel
+    /// still applies the key compare, buckets stay slot-sorted, and the
+    /// merge order is unchanged.
+    bool channel_buckets = true;
     /// 4-wide SIMD lanes (AVX2, runtime-detected) for the batched fanout's
     /// gather/filter and LUT stages. The vector kernels replicate the scalar
     /// operation order exactly (no FMA), so results are bit-identical either
@@ -168,8 +194,48 @@ class Medium {
     std::uint64_t scalar_candidates = 0; // entries through the scalar filter
     std::uint64_t sharded_fanouts = 0;   // fanouts split across workers
     std::uint64_t shard_chunks = 0;      // total chunks dispatched
+    /// Candidates that passed the fused listening-key compare (before the
+    /// self/range tests). loaded − key_matched is pure index waste: bucket
+    /// entries that cost a cache line only to be discarded by the key
+    /// filter. Zero waste with channel-partitioned buckets — the partition
+    /// key IS the fused key, so every streamed entry matches.
+    std::uint64_t key_matched = 0;
+
+    /// Total bucket entries streamed into the filter kernels.
+    std::uint64_t candidates_loaded() const {
+      return simd_candidates + scalar_candidates;
+    }
+    std::uint64_t wasted_candidates() const {
+      return candidates_loaded() - key_matched;
+    }
   };
   const FanoutStats& fanout_stats() const { return fanout_stats_; }
+
+  /// Occupancy snapshot of the live spatial index (metrics/bench surface).
+  struct BucketOccupancy {
+    std::uint64_t buckets = 0;       // live (non-empty) buckets
+    std::uint64_t radios = 0;        // sum of bucket occupancies
+    std::uint32_t max_occupancy = 0;
+
+    double mean() const {
+      return buckets > 0
+                 ? static_cast<double>(radios) / static_cast<double>(buckets)
+                 : 0.0;
+    }
+  };
+  BucketOccupancy bucket_occupancy() const;
+
+  /// Visit every live bucket as (partition key, occupancy). Traversal order
+  /// follows the cell map — callers must be order-insensitive (histogram
+  /// and min/max/sum aggregation are).
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    for (const auto& [cell, ce] : cells_) {
+      for (const auto& [part, bid] : ce.parts) {
+        fn(part, buckets_[bid].size);
+      }
+    }
+  }
 
   /// Why frames died, split by cause. Additive to the aggregate counters
   /// above (frames_lost == erasure + collision; a crc_reject is one
@@ -214,6 +280,11 @@ class Medium {
     std::uint64_t tx_retries = 0;   // 802.11 retransmissions by this radio
     std::uint64_t rx_lost = 0;      // frames erased on the way to this radio
     std::uint64_t cell = 0;         // current grid cell key (valid iff in_grid)
+    /// Partition key the radio is filed under within its cell (valid iff
+    /// in_grid): the fused listening key with channel_buckets, 0 in the
+    /// mixed-bucket layout. Lets erase/migrate find the bucket without
+    /// recomputing the key from possibly-already-mutated state.
+    std::uint16_t part = 0;
     // Explicit membership flag: every 64-bit key is a legal cell (the cell
     // at (-1,-1) packs to all ones), so no in-band sentinel exists.
     bool in_grid = false;
@@ -250,19 +321,41 @@ class Medium {
     double d = 0.0;
   };
 
-  /// One spatial-grid bucket, struct-of-arrays: `slots` ascending (== radio
-  /// id order), with the position and fused listening key of each member
-  /// mirrored at the same index. The filter kernels in medium/fanout_simd
-  /// stream these contiguous arrays directly — no per-slot indirection into
-  /// soa_x_/soa_y_/soa_key_ on the gather path, and 4 adjacent members load
-  /// as one vector lane.
-  struct Bucket {
-    std::vector<std::uint32_t> slots;
-    std::vector<double> xs;
-    std::vector<double> ys;
-    std::vector<std::uint16_t> keys;
+  /// Directory entry of one slab-resident bucket: a [offset, offset + size)
+  /// window into the arena's four parallel arrays (slots/xs/ys/keys at the
+  /// same index). The prefix [0, sorted) is ascending by slot (== radio-id
+  /// order); [sorted, size) is the unsorted churn tail — out-of-order
+  /// arrivals land there in O(1) and are merged into the prefix lazily, the
+  /// next time the bucket is probed (bucket_normalize). Growth abandons the
+  /// old window (tracked as garbage and reclaimed by arena compaction).
+  struct BucketRef {
+    std::uint32_t offset = 0;
+    std::uint32_t size = 0;
+    std::uint32_t capacity = 0;
+    std::uint32_t sorted = 0;
+  };
 
-    std::size_t size() const { return slots.size(); }
+  /// Partition directory of one cell: (partition key → bucket id), sorted
+  /// by key. One entry per listening key present in the cell (typically the
+  /// venue's 1–3 channels plus the non-listener partition), or a single
+  /// part-0 entry in the mixed-bucket layout.
+  struct CellEntry {
+    std::vector<std::pair<std::uint16_t, std::uint32_t>> parts;
+  };
+
+  /// Read-only window over one normalized (fully sorted) bucket, captured
+  /// at probe time. The filter kernels in medium/fanout_simd stream these
+  /// contiguous arrays directly — no per-slot indirection into
+  /// soa_x_/soa_y_/soa_key_ on the gather path, and 4 adjacent members load
+  /// as one vector lane. Valid only until the arena mutates: views are read
+  /// exclusively during the filter stage, which completes before any sink
+  /// callback (the only source of mutation) can run.
+  struct BucketView {
+    const std::uint32_t* slots = nullptr;
+    const double* xs = nullptr;
+    const double* ys = nullptr;
+    const std::uint16_t* keys = nullptr;
+    std::uint32_t size = 0;
   };
 
   /// Per-worker fanout scratch: the chunk's in-range survivors plus the
@@ -276,6 +369,9 @@ class Medium {
     std::vector<FanoutCandidate> cand;
     Run runs[9];
     int nruns = 0;
+    /// Chunk entries that passed the fused-key compare (FanoutStats
+    /// bookkeeping; summed on the calling thread after the join).
+    std::size_t key_matched = 0;
   };
 
   /// Everything a shard worker needs, published once per sharded fanout
@@ -283,7 +379,7 @@ class Medium {
   /// covers concatenated-bucket element range [split[k], split[k+1]).
   struct ShardJob {
     Medium* medium = nullptr;
-    const Bucket* const* buckets = nullptr;
+    BucketView views[9];  // the range box spans at most 3x3 cells
     int nbuckets = 0;
     std::size_t split[17] = {};
     double tx_x = 0.0;
@@ -362,17 +458,14 @@ class Medium {
 
   /// Refresh the radio's fused SoA listening key: 0 when it cannot receive
   /// (detached or no sink), channel + 1 otherwise. One uint16 compare in the
-  /// gather loop then covers the attached/sink/channel filters at once. The
-  /// bucket mirror is refreshed alongside while the radio is in the grid.
-  void update_soa_key(std::uint32_t slot) {
-    const RadioState& st = slots_[slot];
-    soa_key_[slot] = st.attached && st.sink != nullptr
-                         ? static_cast<std::uint16_t>(st.channel) + 1
-                         : 0;
-    if (st.in_grid) bucket_sync_key(slot);
-  }
+  /// gather loop then covers the attached/sink/channel filters at once.
+  /// While the radio is in the grid, a key change migrates it to its new
+  /// (cell, key) bucket under channel_buckets — the partition IS the key —
+  /// or refreshes the in-place key mirror in the mixed layout.
+  void update_soa_key(std::uint32_t slot);
 
-  /// Propagate soa_key_[slot] into the radio's bucket mirror.
+  /// Propagate soa_key_[slot] into the radio's bucket mirror (mixed-bucket
+  /// layout: the key is data, not the partition).
   void bucket_sync_key(std::uint32_t slot);
 
   /// Memoized per-TX-power range data (venues use a handful of power
@@ -415,11 +508,43 @@ class Medium {
   }
   std::int64_t cell_coord(double v) const;
   std::uint64_t cell_of(Position pos) const;
+  /// Partition key a radio files under: its fused listening key with
+  /// channel_buckets, 0 (one mixed bucket per cell) otherwise.
+  std::uint16_t partition_of(std::uint32_t slot) const {
+    return cfg_.channel_buckets ? soa_key_[slot] : 0;
+  }
   void grid_insert(std::uint32_t slot, RadioState& st);
   void grid_erase(RadioState& st, std::uint32_t slot);
   /// Recompute the cell size from the strongest transmitter and re-bucket
-  /// every radio. Rare: only when a new power class appears.
+  /// every radio (rare: only when a new power class appears). Rebuilds the
+  /// arena from scratch — fully sorted, zero garbage.
   void grid_rebuild();
+
+  /// --- Slab arena management (see DESIGN.md §5g). ---
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+  /// Reserve `cap` fresh elements at the arena tail; returns their offset.
+  std::uint32_t arena_alloc(std::uint32_t cap);
+  /// Double the bucket's window (the old one becomes garbage).
+  void bucket_grow(BucketRef& b);
+  /// Rewrite every live bucket contiguously once abandoned windows outgrow
+  /// the live population. Layout-only: member order inside each bucket is
+  /// preserved, so probe results cannot change. Never runs during a fanout —
+  /// only insert paths call it, and those run from sink callbacks or
+  /// top-level code, never while a filter is streaming the arena.
+  void maybe_compact_arena();
+  /// The cell's bucket for `part`, nullptr when absent.
+  BucketRef* find_bucket(std::uint64_t cell, std::uint16_t part);
+  BucketRef* find_bucket_in(CellEntry& ce, std::uint16_t part);
+  /// Find-or-create, registering a fresh bucket in the cell's partition
+  /// directory (bucket ids are recycled via free_buckets_).
+  BucketRef& find_or_create_bucket(std::uint64_t cell, std::uint16_t part);
+  /// Merge the bucket's unsorted churn tail into the sorted prefix (in
+  /// place, backward merge — no arena growth, so captured views of other
+  /// buckets stay valid). Called before a bucket is probed.
+  void bucket_normalize(BucketRef& b);
+  /// Index of `slot` within the bucket (binary search over the sorted
+  /// prefix, linear scan over the tail), kNpos when absent.
+  std::size_t bucket_locate(const BucketRef& b, std::uint32_t slot) const;
 
   EventQueue& events_;
   Config cfg_;
@@ -485,9 +610,32 @@ class Medium {
 
   double cell_size_ = 0.0;
   double max_tx_power_dbm_ = -1e300;
-  /// Grid buckets hold slots sorted ascending (== ascending radio id), so
-  /// per-cell gather runs come out pre-sorted for the merge fanout.
-  std::unordered_map<std::uint64_t, Bucket> cells_;
+  /// Spatial index: cell map → partition directory → slab-resident buckets.
+  /// Buckets hold slots sorted ascending (== ascending radio id, modulo the
+  /// lazily-merged churn tail), so per-cell gather runs come out pre-sorted
+  /// for the merge fanout.
+  std::unordered_map<std::uint64_t, CellEntry> cells_;
+  std::vector<BucketRef> buckets_;
+  std::vector<std::uint32_t> free_buckets_;
+  /// The arena: four parallel arrays every bucket windows into. Grown at
+  /// the tail; abandoned windows are tracked as garbage and reclaimed by
+  /// maybe_compact_arena().
+  std::vector<std::uint32_t> arena_slots_;
+  std::vector<double> arena_xs_;
+  std::vector<double> arena_ys_;
+  std::vector<std::uint16_t> arena_keys_;
+  std::size_t arena_live_ = 0;     // elements currently filed in buckets
+  std::size_t arena_garbage_ = 0;  // abandoned (unreachable) elements
+  /// bucket_normalize scratch for the churn tail, reused across calls
+  /// (normalize never suspends — no sink runs inside it — so one scratch
+  /// serves nested delivery too).
+  struct TailEntry {
+    std::uint32_t slot;
+    double x;
+    double y;
+    std::uint16_t key;
+  };
+  std::vector<TailEntry> tail_scratch_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t transmissions_ = 0;
   std::uint64_t frames_lost_ = 0;

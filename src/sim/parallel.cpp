@@ -67,14 +67,15 @@ RunErrorKind classify_abort(medium::RunAbortError::Kind k) {
 /// discarding every other run's result. `inject_throw` is the chaos layer's
 /// synthetic exception.
 RunOutput attempt_run(const World& world, const RunConfig& run,
-                      bool inject_throw, LoadTracker* tracker) {
+                      bool inject_throw, LoadTracker* tracker,
+                      SetupCache* setup_cache) {
   const auto start = std::chrono::steady_clock::now();
   RunOutput out;
   try {
     if (inject_throw) {
       throw std::runtime_error("chaos: injected failure before the run");
     }
-    out = run_campaign(world, run);
+    out = run_campaign(world, run, setup_cache);
   } catch (const medium::RunAbortError& e) {
     out = RunOutput{};
     out.error.kind = classify_abort(e.kind());
@@ -160,7 +161,8 @@ class Supervisor {
           run.chaos_poison_schedule = true;
         }
       }
-      RunOutput out = attempt_run(world_, run, inject_throw, tracker_);
+      RunOutput out = attempt_run(world_, run, inject_throw, tracker_,
+                                  cfg_.warm_start_setup ? &setup_cache_ : nullptr);
       if (!out.error.failed()) {
         // error.attempts stays 0 on success — a retried-then-successful
         // run is bit-identical to an undisturbed one. The retry count
@@ -259,6 +261,9 @@ class Supervisor {
   ParallelConfig cfg_;
   ChaosConfig chaos_;
   LoadTracker* tracker_;
+  /// Campaign-lifetime memoized setup (cfg_.warm_start_setup); internally
+  /// mutex-serialised, shared by every worker's attempts.
+  SetupCache setup_cache_;
 
   std::mutex mu_;
   std::vector<RunOutput> outputs_;

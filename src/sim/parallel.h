@@ -82,6 +82,13 @@ struct ParallelConfig {
   /// Medium's intra_run_workers.
   int checkpoint_every = 8;
 
+  /// Share memoized run setup (WiGLE seed, venue locale) across the
+  /// campaign's runs via a SetupCache — identical-setup runs build the
+  /// expensive state once and copy from one immutable snapshot. Results are
+  /// byte-identical with or without it (see sim::SetupCache); disable only
+  /// to measure the cold-setup cost.
+  bool warm_start_setup = true;
+
   /// Fault injection; merged with CITYHUNTER_CHAOS (the env var wins only
   /// when this struct is all-off).
   ChaosConfig chaos{};

@@ -26,6 +26,36 @@ std::vector<VenueSite> venue_sites() {
   };
 }
 
+/// §V-B operator hotspots, one list for the cold and warm seeding paths so
+/// they cannot diverge.
+const std::vector<std::string>& carrier_ssid_list() {
+  static const std::vector<std::string> kCarriers = {"PCCW1x", "Y5ZONE",
+                                                     "CMCC-AUTO"};
+  return kCarriers;
+}
+
+/// FNV-1a over exactly the RunConfig fields the setup snapshot depends on
+/// (same construction as the checkpoint config hash in sim/checkpoint.cpp).
+/// Everything else — run seed, duration, medium overrides, deauth, chaos —
+/// affects the simulation, not the seeded database or the venue locale.
+std::uint64_t setup_hash(const RunConfig& cfg) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(cfg.kind));
+  mix(cfg.venue.name.size());
+  for (const char c : cfg.venue.name) mix(static_cast<std::uint8_t>(c));
+  mix(static_cast<std::uint64_t>(cfg.wigle_seed.nearby_count));
+  mix(static_cast<std::uint64_t>(cfg.wigle_seed.popular_count));
+  mix(static_cast<std::uint64_t>(cfg.wigle_seed.ranking));
+  mix(cfg.seed_carrier_ssids ? 1 : 0);
+  return h;
+}
+
 /// Chaos hang: a self-rescheduling event that burns ~50 µs of wallclock per
 /// firing while advancing sim time 1 µs per event — the run makes no real
 /// progress, exactly like a wedged client loop, and only the cooperative
@@ -121,7 +151,64 @@ std::vector<std::string> World::local_public_ssids(medium::Position pos,
   return out;
 }
 
+std::shared_ptr<const SetupCache::Snapshot> SetupCache::lookup_or_build(
+    const World& world, const RunConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (world_ == nullptr) {
+    world_ = &world;
+  } else if (world_ != &world) {
+    throw std::logic_error(
+        "SetupCache: shared across different Worlds (setup state is "
+        "world-derived; use one cache per World)");
+  }
+  const std::uint64_t h = setup_hash(cfg);
+  const auto it = map_.find(h);
+  if (it != map_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  Snapshot building{core::SsidDatabase{}, world.pnl_model()};
+  const auto attack_city_pos = venue_city_position(cfg.venue.name);
+  // Mirror of run_campaign's cold setup, seeding at sim time 0 — exactly
+  // when every run's own seeding happens (setup precedes the event loop).
+  switch (cfg.kind) {
+    case AttackerKind::kKarma:
+    case AttackerKind::kMana:
+      break;  // no WiGLE seed; the database starts empty
+    case AttackerKind::kPrelim: {
+      auto seed_cfg = cfg.wigle_seed;
+      seed_cfg.ranking = core::PopularRanking::kApCount;  // §III design
+      core::seed_from_wigle(building.seeded_db, world.wigle(), nullptr,
+                            attack_city_pos, seed_cfg, support::SimTime());
+      break;
+    }
+    case AttackerKind::kCityHunter:
+      core::seed_from_wigle(building.seeded_db, world.wigle(), &world.heat(),
+                            attack_city_pos, cfg.wigle_seed,
+                            support::SimTime());
+      break;
+  }
+  if (cfg.seed_carrier_ssids) {
+    core::seed_carrier_ssids(building.seeded_db, carrier_ssid_list(),
+                             static_cast<double>(cfg.wigle_seed.popular_count),
+                             support::SimTime());
+  }
+  world::Locale locale;
+  locale.ranked_ssids = world.local_public_ssids(attack_city_pos, 500.0);
+  locale.bias = 0.45;
+  building.pnl.set_locale(std::move(locale));
+  auto snap = std::make_shared<const Snapshot>(std::move(building));
+  map_.emplace(h, snap);
+  return snap;
+}
+
 RunOutput run_campaign(const World& world, const RunConfig& cfg) {
+  return run_campaign(world, cfg, nullptr);
+}
+
+RunOutput run_campaign(const World& world, const RunConfig& cfg,
+                       SetupCache* setup_cache) {
   using Clock = std::chrono::steady_clock;
   const auto phase_seconds = [](Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
@@ -166,6 +253,14 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
 
   const auto attack_city_pos = venue_city_position(cfg.venue.name);
 
+  // Warm start: fetch (or build, first run only) the memoized setup
+  // snapshot. Everything below applies it copy-on-write — the snapshot is
+  // shared and immutable; the run assigns into its own database / PnlModel.
+  std::shared_ptr<const SetupCache::Snapshot> snap;
+  if (setup_cache != nullptr) {
+    snap = setup_cache->lookup_or_build(world, cfg);
+  }
+
   std::unique_ptr<core::Attacker> attacker;
   core::CityHunter* hunter = nullptr;
   switch (cfg.kind) {
@@ -182,10 +277,12 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
       core::CityHunterPrelim::Config pc;
       pc.base = base;
       attacker = std::make_unique<core::CityHunterPrelim>(medium, pc);
-      auto seed_cfg = cfg.wigle_seed;
-      seed_cfg.ranking = core::PopularRanking::kApCount;  // §III design
-      core::seed_from_wigle(attacker->database(), world.wigle(), nullptr,
-                            attack_city_pos, seed_cfg, events.now());
+      if (snap == nullptr) {
+        auto seed_cfg = cfg.wigle_seed;
+        seed_cfg.ranking = core::PopularRanking::kApCount;  // §III design
+        core::seed_from_wigle(attacker->database(), world.wigle(), nullptr,
+                              attack_city_pos, seed_cfg, events.now());
+      }
       break;
     }
     case AttackerKind::kCityHunter: {
@@ -195,18 +292,28 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
                                                    rng.fork("selector"));
       hunter = ch.get();
       attacker = std::move(ch);
-      core::seed_from_wigle(attacker->database(), world.wigle(),
-                            &world.heat(), attack_city_pos, cfg.wigle_seed,
-                            events.now());
+      if (snap == nullptr) {
+        core::seed_from_wigle(attacker->database(), world.wigle(),
+                              &world.heat(), attack_city_pos, cfg.wigle_seed,
+                              events.now());
+      }
       break;
     }
+  }
+  // Database layering, preserving the cold path's order exactly: WiGLE seed
+  // (from the snapshot or recomputed above) → initial_database overwrite →
+  // carrier SSIDs on top. The snapshot already folded the carrier seeds into
+  // its database, so the warm path only reseeds them when initial_database
+  // replaced it.
+  if (snap != nullptr && !cfg.initial_database) {
+    attacker->database() = snap->seeded_db;
   }
   if (cfg.initial_database) {
     attacker->database() = *cfg.initial_database;
   }
-  if (cfg.seed_carrier_ssids) {
+  if (cfg.seed_carrier_ssids && (snap == nullptr || cfg.initial_database)) {
     core::seed_carrier_ssids(
-        attacker->database(), {"PCCW1x", "Y5ZONE", "CMCC-AUTO"},
+        attacker->database(), carrier_ssid_list(),
         static_cast<double>(cfg.wigle_seed.popular_count), events.now());
   }
   attacker->set_trace(probe.trace());
@@ -244,11 +351,16 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
   // copy of the PNL model: the venue locale and the person/group/home id
   // counters are per-crowd state, and keeping them out of the shared World
   // is what makes concurrent runs independent (and reruns reproducible).
-  world::PnlModel pnl = world.pnl_model();
-  world::Locale locale;
-  locale.ranked_ssids = world.local_public_ssids(attack_city_pos, 500.0);
-  locale.bias = 0.45;
-  pnl.set_locale(std::move(locale));
+  // Warm start copies the snapshot's locale-applied model — set_locale only
+  // assigns the member, so copy-then-set and copy-of-set are identical —
+  // and skips the O(aps) venue SSID ranking.
+  world::PnlModel pnl = snap != nullptr ? snap->pnl : world.pnl_model();
+  if (snap == nullptr) {
+    world::Locale locale;
+    locale.ranked_ssids = world.local_public_ssids(attack_city_pos, 500.0);
+    locale.bias = 0.45;
+    pnl.set_locale(std::move(locale));
+  }
 
   auto phone_cfg = world.config().phone;
   if (cfg.venue.mean_scan_interval_s > 0) {
@@ -341,6 +453,21 @@ RunOutput run_campaign(const World& world, const RunConfig& cfg) {
           fanout.scalar_candidates);
     m.add(m.counter("medium.fanout_sharded"), fanout.sharded_fanouts);
     m.add(m.counter("medium.fanout_shard_chunks"), fanout.shard_chunks);
+    // Index-waste bookkeeping: loaded − key_matched candidates cost a cache
+    // line only to fail the fused-key compare (≈0 with channel_buckets).
+    m.add(m.counter("medium.fanout_key_matched"), fanout.key_matched);
+    m.add(m.counter("medium.fanout_wasted_candidates"),
+          fanout.wasted_candidates());
+    // End-of-run occupancy histogram of the live spatial index (the
+    // histogram is order-insensitive, so the cell-map traversal order
+    // doesn't matter).
+    const auto occ_id = m.distribution("medium.bucket_occupancy", 4.0);
+    medium.for_each_bucket([&m, occ_id](std::uint16_t, std::uint32_t size) {
+      m.observe(occ_id, static_cast<double>(size));
+    });
+    const auto occ = medium.bucket_occupancy();
+    m.set(m.gauge("medium.bucket_max_occupancy"),
+          static_cast<double>(occ.max_occupancy));
     const auto& drops = medium.drops();
     m.add(m.counter("fault.drop_erasure"), drops.erasure);
     m.add(m.counter("fault.drop_collision"), drops.collision);

@@ -5,9 +5,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "client/legit_ap.h"
@@ -228,10 +231,67 @@ struct RunOutput {
   RunError error;
 };
 
+/// Memoized expensive run setup, shared across the runs of one campaign.
+///
+/// Profiling (BENCH_wallclock.json): per-run setup is ~18% of serial
+/// campaign wallclock, dominated by two pure functions of (World, a few
+/// RunConfig fields) recomputed identically for every run — the WiGLE seed
+/// scan over the whole AP snapshot and the venue-locale SSID ranking behind
+/// the per-run PnlModel copy. The cache keys those inputs with the same
+/// FNV-1a construction the checkpoint config hash uses and hands out one
+/// immutable snapshot per distinct setup; runs copy from the snapshot
+/// (copy-on-write: the attacker's database and the PNL crowd counters
+/// mutate per-run, so each run assigns the shared seeded state into its own
+/// instances and never writes through the snapshot).
+///
+/// Byte-identity: the snapshot stores exactly what the incremental path
+/// computes — seed_from_wigle / seed_carrier_ssids are pure functions of
+/// (wigle, heat, venue position, seed config, t = 0) and every run seeds at
+/// sim time 0, so assigning the snapshot database is indistinguishable from
+/// reseeding; the PnlModel locale is a pure function of (world, venue). The
+/// warm-start equivalence test in tests/parallel_test.cpp pins this.
+///
+/// Thread safety: lookup_or_build is mutex-serialised (misses build inside
+/// the lock — the first run of each distinct setup pays once); the returned
+/// snapshot is immutable and safe to read concurrently. A cache binds to
+/// the first World it sees and throws on a different one — setup state is
+/// world-derived, so sharing across worlds would serve wrong data.
+class SetupCache {
+ public:
+  struct Snapshot {
+    /// Database state after WiGLE (and carrier) seeding at sim time 0.
+    core::SsidDatabase seeded_db;
+    /// World PNL model with the venue Locale already applied.
+    world::PnlModel pnl;
+  };
+
+  /// The snapshot for `cfg`'s setup-relevant fields, building it on first
+  /// use. Throws std::logic_error when called with a different World than
+  /// the cache was first used with.
+  std::shared_ptr<const Snapshot> lookup_or_build(const World& world,
+                                                  const RunConfig& cfg);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex mu_;
+  const World* world_ = nullptr;  // bound on first lookup
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Snapshot>> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Deploy `cfg.kind` in `cfg.venue` for `cfg.duration` and analyse. Pure in
 /// the world: the output depends only on (world seed, cfg), never on other
 /// runs — the per-run RNG is seeded world.seed ^ run_seed*φ and the PNL
 /// model is copied, so repeated or concurrent runs are bit-identical.
 RunOutput run_campaign(const World& world, const RunConfig& cfg);
+
+/// As above, sharing memoized setup state across runs via `setup_cache`
+/// (nullptr = cold setup every run). Output is byte-identical with or
+/// without the cache — see SetupCache.
+RunOutput run_campaign(const World& world, const RunConfig& cfg,
+                       SetupCache* setup_cache);
 
 }  // namespace cityhunter::sim

@@ -140,6 +140,40 @@ TEST(CityScaleGolden, PinnedCountsAcrossPipelines) {
   EXPECT_GT(batched.cache_hits, 0u);
 }
 
+TEST(CityScaleGolden, ChannelMixedDistrictPinnedForBothIndexLayouts) {
+  // The district spreads radios over channels 1/6/11, so it is the exact
+  // workload the channel-partitioned index targets. Both layouts must land
+  // on the same golden totals, and the efficiency counters must show what
+  // the partitioning buys: the mixed layout streams every co-located
+  // off-channel radio through the key filter, the partitioned one streams
+  // none.
+  bench::CityScaleParams params;
+  params.radios = 400;
+  params.area_m = 400.0;
+  params.duration = support::SimTime::seconds(2.0);
+
+  medium::Medium::Config mixed_cfg;
+  mixed_cfg.channel_buckets = false;
+
+  const bench::CityScaleResult part =
+      bench::run_city_scale(params, medium::Medium::Config{});
+  const bench::CityScaleResult mixed =
+      bench::run_city_scale(params, mixed_cfg);
+
+  EXPECT_EQ(part.transmissions, 2638u);
+  EXPECT_EQ(part.deliveries, 21061u);
+  EXPECT_EQ(mixed.transmissions, part.transmissions);
+  EXPECT_EQ(mixed.deliveries, part.deliveries);
+
+  // Same radios pass the key filter either way; only the loads differ.
+  EXPECT_EQ(part.key_matched, mixed.key_matched);
+  EXPECT_EQ(part.wasted_candidates, 0u);
+  // ~2/3 of mixed-layout loads are off-channel at a 3-channel plan.
+  EXPECT_GT(mixed.wasted_candidates, mixed.key_matched);
+  EXPECT_GT(part.mean_bucket_occupancy, 0.0);
+  EXPECT_GE(mixed.max_bucket_occupancy, part.max_bucket_occupancy);
+}
+
 TEST_F(GoldenCampaignTest, RepeatedRunsAreBitIdentical) {
   // Pooled transmissions and recycled event slots must not leak state
   // between runs against the same world.

@@ -862,6 +862,136 @@ TEST(MediumEquivalence, ShardedFanoutSurvivesSinkChurnMidDelivery) {
   }
 }
 
+// --- Channel-partitioned index: set_channel storms and layout toggles ---
+
+// A script that hammers the channel-bucket migration path: a bigger
+// population than the regular fuzz mix, and more than half of all ops are
+// set_channel calls (bursts of retunes between transmits). Every retune
+// migrates the radio between per-channel buckets — erase from one
+// partition, insert into another — so this stresses bucket create/recycle,
+// deferred-merge normalization and arena compaction far harder than
+// make_fuzz_script's 8% retune rate.
+std::vector<FuzzOp> make_channel_storm_script(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::vector<FuzzOp> script;
+  const std::uint8_t channels[] = {1, 6, 11};
+  const auto pos = [&rng]() -> Position {
+    return {rng.uniform(-200.0, 200.0), rng.uniform(-200.0, 200.0)};
+  };
+  for (int i = 0; i < 24; ++i) {  // initial population
+    script.push_back({FuzzOp::kAttach, 0, pos(), channels[rng.index(3)],
+                      rng.chance(0.3) ? 20.0 : 15.0, true});
+  }
+  for (int i = 0; i < ops; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    FuzzOp op;
+    op.target = rng.index(64);
+    op.pos = pos();
+    op.channel = channels[rng.index(3)];
+    op.dbm = rng.chance(0.3) ? 20.0 : 15.0;
+    op.broadcast = rng.chance(0.5);
+    if (roll < 0.04) {
+      op.kind = FuzzOp::kAttach;
+    } else if (roll < 0.10) {
+      op.kind = FuzzOp::kDetach;
+    } else if (roll < 0.22) {
+      op.kind = FuzzOp::kMove;
+    } else if (roll < 0.78) {
+      op.kind = FuzzOp::kSetChannel;
+    } else {
+      op.kind = FuzzOp::kTransmit;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+TEST(MediumEquivalence, SetChannelStormMatchesLegacyScanAcrossPipelines) {
+  // Byte-identity under retune-dominated churn: the channel-partitioned
+  // rigs must agree with the legacy full scan (which has no index at all)
+  // at every worker count, exact-math and faulty alike.
+  for (const std::uint64_t seed : {101u, 202u}) {
+    const auto script = make_channel_storm_script(seed, 500);
+    for (const bool fault : {false, true}) {
+      FuzzRig scan(fuzz_config(false, false, false, false, fault));
+      replay(scan, script);
+      ASSERT_FALSE(scan.log.empty()) << "seed " << seed;
+      for (const int workers : {1, 2, 8}) {
+        // Exact rigs run plain batched math; lossy rigs get the full LUT +
+        // cache pipeline, which the fault path degrades to exact math.
+        Medium::Config cfg = fault ? fuzz_config(true, true, true, true, true)
+                                   : fuzz_config(true, false, false, true,
+                                                 false);
+        cfg.intra_run_workers = workers;
+        cfg.shard_min_candidates = 0;
+        FuzzRig rig(cfg);
+        replay(rig, script);
+        EXPECT_EQ(scan.log, rig.log)
+            << "seed " << seed << " fault " << fault << " workers " << workers;
+        if (fault) {
+          EXPECT_EQ(scan.medium.frames_lost(), rig.medium.frames_lost());
+          EXPECT_EQ(scan.medium.drops(), rig.medium.drops());
+          EXPECT_EQ(scan.medium.retries(), rig.medium.retries());
+        }
+      }
+    }
+  }
+}
+
+TEST(MediumEquivalence, ChannelBucketLayoutTogglesAreBitIdentical) {
+  // channel_buckets = false keeps the old mixed-channel per-cell buckets.
+  // The partitioned layout must be observably invisible: identical delivery
+  // bytes and loss counters over both the regular fuzz mix and the retune
+  // storm. Only the waste counter may differ — the partitioned index
+  // streams no mismatched-key candidates at all, while the mixed layout
+  // pays for every co-located off-channel radio.
+  for (const bool fault : {false, true}) {
+    for (const bool storm : {false, true}) {
+      const std::uint64_t seed = storm ? 909u : 808u;
+      const auto script = storm ? make_channel_storm_script(seed, 500)
+                                : make_fuzz_script(seed, 300);
+      Medium::Config part_cfg = fuzz_config(true, true, true, true, fault);
+      Medium::Config mixed_cfg = part_cfg;
+      mixed_cfg.channel_buckets = false;
+      FuzzRig part(part_cfg);
+      FuzzRig mixed(mixed_cfg);
+      replay(part, script);
+      replay(mixed, script);
+      EXPECT_EQ(part.log, mixed.log) << "fault " << fault << " storm "
+                                     << storm;
+      EXPECT_EQ(part.medium.frames_lost(), mixed.medium.frames_lost());
+      EXPECT_EQ(part.medium.drops(), mixed.medium.drops());
+      // Same candidates pass the key filter either way; the partitioned
+      // index just never loads the ones that would fail it.
+      EXPECT_EQ(part.medium.fanout_stats().key_matched,
+                mixed.medium.fanout_stats().key_matched);
+      EXPECT_EQ(part.medium.fanout_stats().wasted_candidates(), 0u);
+      EXPECT_GE(mixed.medium.fanout_stats().wasted_candidates(),
+                part.medium.fanout_stats().wasted_candidates());
+    }
+  }
+}
+
+TEST(MediumEquivalence, ChannelStormSurvivesShardedFaultyMigration) {
+  // The nastiest combination in one rig: retune-dominated churn, fault
+  // injection, forced sharding, LUT + cache — replayed twice to check the
+  // rig itself is deterministic (arena compaction and bucket recycling must
+  // not leak allocation order into deliveries).
+  const auto script = make_channel_storm_script(321u, 600);
+  const auto run_once = [&script]() {
+    Medium::Config cfg = fuzz_config(true, true, true, true, true);
+    cfg.intra_run_workers = 8;
+    cfg.shard_min_candidates = 0;
+    FuzzRig rig(cfg);
+    replay(rig, script);
+    return rig.log;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
 TEST(MediumConfig, RejectsBadIntraRunWorkers) {
   EventQueue events;
   Medium::Config cfg;

@@ -141,6 +141,71 @@ TEST(RunCampaigns, ParallelIsBitIdenticalToSerial) {
   }
 }
 
+// --- Warm-start setup cache ---
+
+TEST(RunCampaigns, WarmStartSetupIsBitIdenticalToColdSetup) {
+  // The doc contract on sim::SetupCache: sharing the memoized WiGLE seed
+  // and venue locale across runs must be observably invisible. Run every
+  // mixed config cold (no cache), then twice against one cache — the
+  // second sweep hits the snapshot for every run — and demand identical
+  // outputs throughout.
+  sim::World world(small_scenario());
+  const auto runs = mixed_runs();
+
+  sim::SetupCache cache;
+  for (const auto& run : runs) {
+    const auto cold = sim::run_campaign(world, run);
+    const auto warm_miss = sim::run_campaign(world, run, &cache);
+    expect_identical(cold, warm_miss);
+  }
+  const auto misses_after_first_sweep = cache.misses();
+  EXPECT_GT(misses_after_first_sweep, 0u);
+  for (const auto& run : runs) {
+    const auto cold = sim::run_campaign(world, run);
+    const auto warm_hit = sim::run_campaign(world, run, &cache);
+    expect_identical(cold, warm_hit);
+  }
+  // The second sweep built nothing new: every lookup was a hit.
+  EXPECT_EQ(cache.misses(), misses_after_first_sweep);
+  EXPECT_GE(cache.hits(), runs.size());
+}
+
+TEST(RunCampaigns, WarmStartToggleDoesNotChangeCampaignOutputs) {
+  sim::World world(small_scenario());
+  const auto runs = mixed_runs();
+
+  sim::ParallelConfig cold_cfg{1};
+  cold_cfg.warm_start_setup = false;
+  sim::ParallelConfig warm_cfg{1};
+  warm_cfg.warm_start_setup = true;
+
+  const auto cold = sim::run_campaigns(world, runs, cold_cfg);
+  const auto warm = sim::run_campaigns(world, runs, warm_cfg);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(cold[i], warm[i]);
+  }
+}
+
+TEST(RunCampaigns, SetupCacheIsBoundToOneWorld) {
+  // A snapshot seeded from one world must never leak into another: the
+  // cache binds to the first world it sees and rejects the rest loudly.
+  sim::World world_a(small_scenario());
+  sim::ScenarioConfig other = small_scenario();
+  other.seed = 8;
+  sim::World world_b(other);
+
+  sim::SetupCache cache;
+  sim::RunConfig run;
+  run.kind = sim::AttackerKind::kCityHunter;
+  run.duration = support::SimTime::minutes(1);
+  run.run_seed = 1;
+  (void)sim::run_campaign(world_a, run, &cache);
+  EXPECT_THROW((void)sim::run_campaign(world_b, run, &cache),
+               std::logic_error);
+}
+
 TEST(RunCampaigns, OutputsPreserveInputOrder) {
   sim::World world(small_scenario());
   // Same run at different seeds: outputs must line up with their configs,
