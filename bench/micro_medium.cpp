@@ -48,6 +48,7 @@ enum class Mode {
   kBatchedSharded,
   kBatchedNoCache,
   kBatchedMixedIndex,  // channel_buckets off: the pre-PR mixed-channel cells
+  kBatchedEagerLutSimd,  // simd_lut_min_elems = 1: the pre-fix LUT dispatch
   kGrid,
   kLegacyScan
 };
@@ -71,6 +72,14 @@ Medium::Config mode_config(Mode mode, int workers) {
       break;
     case Mode::kBatchedMixedIndex:
       cfg.channel_buckets = false;  // same results, off-channel loads return
+      break;
+    case Mode::kBatchedEagerLutSimd:
+      // Vectorize the LUT stage for any survivor chunk at all — the
+      // pre-fix dispatch that made city-scale SIMD runs slower than scalar
+      // (the gather-bound kernel needs ~kSimdLutMinElems survivors to
+      // amortize its AVX entry cost). Kept as a benchmark-only regression
+      // row; results are bit-identical either way.
+      cfg.simd_lut_min_elems = 1;
       break;
     case Mode::kGrid:
       cfg.batched_fanout = false;
@@ -265,6 +274,21 @@ void BM_DeliverMixedIndexChannelMixed(benchmark::State& state) {
   deliver_loop(state, Mode::kBatchedMixedIndex, /*move=*/false, /*workers=*/1,
                /*mixed_channels=*/true);
 }
+// The city-shape LUT dispatch split (satellite of the sharded-city PR): at
+// urban density the filter admits only a few dozen survivors per fanout,
+// below the gather-bound LUT kernel's profit point. The default dispatch
+// (LUT vectorized only from kSimdLutMinElems survivors) must be >= the
+// scalar row on this crowd; the eager row re-creates the pre-fix dispatch
+// whose AVX entry cost made `simd: true` ~7% SLOWER than scalar in
+// BENCH_wallclock.json's city_scale.intra_run.
+void BM_DeliverNoSimdChannelMixed(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedNoSimd, /*move=*/false, /*workers=*/1,
+               /*mixed_channels=*/true);
+}
+void BM_DeliverEagerLutSimdChannelMixed(benchmark::State& state) {
+  deliver_loop(state, Mode::kBatchedEagerLutSimd, /*move=*/false,
+               /*workers=*/1, /*mixed_channels=*/true);
+}
 void BM_ChurnSetChannelStorm(benchmark::State& state) {
   churn_loop(state, Mode::kBatched);
 }
@@ -290,6 +314,8 @@ BENCHMARK(BM_DeliverBatchedMoving)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_DeliverGridMoving)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_DeliverBatchedChannelMixed)->Arg(1000)->Arg(4000)->Arg(20000);
 BENCHMARK(BM_DeliverMixedIndexChannelMixed)->Arg(1000)->Arg(4000)->Arg(20000);
+BENCHMARK(BM_DeliverNoSimdChannelMixed)->Arg(4000)->Arg(20000);
+BENCHMARK(BM_DeliverEagerLutSimdChannelMixed)->Arg(4000)->Arg(20000);
 BENCHMARK(BM_ChurnSetChannelStorm)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_ChurnSetChannelStormMixedIndex)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_ChurnAttachDetach)->Arg(1000)->Arg(10000);

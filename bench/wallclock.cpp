@@ -27,10 +27,18 @@
 // speedup-vs-previous summary line, so the committed JSON always carries a
 // before/after pair. Heap allocations over the serial loop are counted
 // (bench/alloc_counter.h) and reported per delivered frame. A city-scale
-// district (bench/city_scale.h) is timed last: batched SoA pipeline vs the
+// district (bench/city_scale.h) is timed next: batched SoA pipeline vs the
 // pre-PR grid reference, plus the intra-run fanout trajectory (scalar vs
 // SIMD, then 2/4/8 sharding workers up to the hardware) recorded under
-// city_scale.intra_run with per-entry delivery-identity flags.
+// city_scale.intra_run with per-entry delivery-identity flags. The sharded
+// multi-district city (sim/shard) is timed last: 100k radios at 1/2/4/8
+// shards plus a pinned-worker row and a handoff-heavy identity check, all
+// digest-verified against the single-Medium baseline, under "sharded_city".
+//
+// Overheads that divide two best-of-2 walls (tracing, checkpointing) are
+// reported alongside a noise floor — the larger relative spread between a
+// side's two passes. A reading inside the floor is clamped to 0 in the
+// headline field; the raw value is kept in *_raw_pct.
 //
 // Usage: wallclock [slot_minutes]
 //   slot_minutes — simulated minutes per slot (default 10; the paper's
@@ -38,6 +46,7 @@
 // CITYHUNTER_THREADS overrides the "N" (all cores) thread count.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -48,6 +57,7 @@
 #include "bench_common.h"
 #include "city_scale.h"
 #include "sim/parallel.h"
+#include "sim/shard.h"
 #include "support/atomic_file.h"
 #include "support/thread_pool.h"
 
@@ -89,6 +99,33 @@ void print_phases(const sim::PhaseProfile& p) {
   std::printf("             phases: setup %.3f s, sim %.3f s, "
               "analysis %.3f s\n",
               p.setup_s, p.sim_s, p.analysis_s);
+}
+
+/// An overhead measurement with its own noise floor. Both sides of the
+/// division ran twice; the relative spread between a side's two passes is
+/// the measurement jitter on this machine right now, and an overhead whose
+/// magnitude sits inside the larger of the two spreads is indistinguishable
+/// from that jitter. Earlier revisions printed checkpoint overhead as
+/// -2.17% — readers take a signed number for a real effect, so the clamped
+/// value reports 0 inside the floor and the raw reading is kept alongside.
+struct Overhead {
+  double raw_pct = 0.0;
+  double noise_floor_pct = 0.0;
+  double clamped_pct = 0.0;
+};
+
+Overhead measure_overhead(const double (&base_walls)[2],
+                          const double (&over_walls)[2]) {
+  const double base = std::min(base_walls[0], base_walls[1]);
+  const double over = std::min(over_walls[0], over_walls[1]);
+  Overhead o;
+  if (base <= 0.0 || over <= 0.0) return o;
+  o.raw_pct = 100.0 * (over - base) / base;
+  const double base_spread = std::abs(base_walls[0] - base_walls[1]) / base;
+  const double over_spread = std::abs(over_walls[0] - over_walls[1]) / over;
+  o.noise_floor_pct = 100.0 * std::max(base_spread, over_spread);
+  o.clamped_pct = std::abs(o.raw_pct) <= o.noise_floor_pct ? 0.0 : o.raw_pct;
+  return o;
 }
 
 /// Serial time recorded by a previous revision's BENCH_wallclock.json in the
@@ -179,8 +216,9 @@ int main(int argc, char** argv) {
   std::vector<sim::RunConfig> traced_runs = runs;
   for (auto& run : traced_runs) run.obs.enabled = true;
   std::vector<sim::RunOutput> serial;
+  double serial_walls[2] = {0.0, 0.0};
+  double traced_walls[2] = {0.0, 0.0};
   double serial_s = 0.0;
-  double traced_s = 0.0;
   std::uint64_t serial_allocs = 0;
   bool traced_same = true;
   for (int pass = 0; pass < 2; ++pass) {
@@ -191,9 +229,9 @@ int main(int argc, char** argv) {
     for (const auto& run : runs) {
       outputs.push_back(sim::run_campaign(world, run));
     }
-    const double wall = seconds_since(t_serial);
-    if (pass == 0 || wall < serial_s) {
-      serial_s = wall;
+    serial_walls[pass] = seconds_since(t_serial);
+    if (pass == 0 || serial_walls[pass] < serial_s) {
+      serial_s = serial_walls[pass];
       serial_allocs = bench::alloc_count() - a0;
       serial = std::move(outputs);
     }
@@ -206,10 +244,10 @@ int main(int argc, char** argv) {
       const auto out = sim::run_campaign(world, traced_runs[i]);
       traced_same = traced_same && identical(serial[i], out);
     }
-    const double traced_wall = seconds_since(t_traced);
-    if (pass == 0 || traced_wall < traced_s) traced_s = traced_wall;
+    traced_walls[pass] = seconds_since(t_traced);
   }
-  const double trace_overhead_pct = 100.0 * (traced_s - serial_s) / serial_s;
+  const double traced_s = std::min(traced_walls[0], traced_walls[1]);
+  const Overhead trace_overhead = measure_overhead(serial_walls, traced_walls);
   const sim::PhaseProfile serial_phases = sum_phases(serial);
 
   std::uint64_t frames = 0;
@@ -238,8 +276,10 @@ int main(int argc, char** argv) {
               100.0 * queue_agg.slab_reuse_ratio(),
               static_cast<unsigned long long>(queue_agg.slab_slots));
 
-  std::printf("tracing on: %6.2f s serial (overhead %+.1f%%)   %s\n",
-              traced_s, trace_overhead_pct,
+  std::printf("tracing on: %6.2f s serial (overhead %+.1f%%, raw %+.1f%%, "
+              "noise floor \xc2\xb1%.1f%%)   %s\n",
+              traced_s, trace_overhead.clamped_pct, trace_overhead.raw_pct,
+              trace_overhead.noise_floor_pct,
               traced_same ? "results identical"
                           : "MISMATCH vs untraced serial");
 
@@ -276,7 +316,10 @@ int main(int argc, char** argv) {
        << ", \"analysis_s\": " << serial_phases.analysis_s << "},\n"
        << "  \"serial_allocs_per_frame\": " << allocs_per_frame << ",\n"
        << "  \"traced_serial_s\": " << traced_s << ",\n"
-       << "  \"trace_overhead_pct\": " << trace_overhead_pct << ",\n"
+       << "  \"trace_overhead_pct\": " << trace_overhead.clamped_pct << ",\n"
+       << "  \"trace_overhead_raw_pct\": " << trace_overhead.raw_pct << ",\n"
+       << "  \"trace_noise_floor_pct\": " << trace_overhead.noise_floor_pct
+       << ",\n"
        << "  \"queue_events_processed\": " << queue_agg.processed << ",\n"
        << "  \"queue_peak_pending\": " << queue_agg.peak_pending << ",\n"
        << "  \"queue_slab_reuse_ratio\": " << queue_agg.slab_reuse_ratio()
@@ -360,20 +403,20 @@ int main(int argc, char** argv) {
     ckpt_cfg.checkpoint_every = 8;
     sim::ParallelStats sstats;
     std::vector<sim::RunOutput> supervised;
-    double plain_wall_s = 0.0;
+    double plain_walls[2] = {0.0, 0.0};
+    double ckpt_walls[2] = {0.0, 0.0};
     double ckpt_wall_s = 0.0;
     for (int pass = 0; pass < 2; ++pass) {
       const auto t_plain = std::chrono::steady_clock::now();
       (void)sim::run_campaigns(world, runs, plain_cfg);
-      const double plain_wall = seconds_since(t_plain);
-      if (pass == 0 || plain_wall < plain_wall_s) plain_wall_s = plain_wall;
+      plain_walls[pass] = seconds_since(t_plain);
 
       const auto t0 = std::chrono::steady_clock::now();
       sim::ParallelStats pass_stats;
       auto outputs = sim::run_campaigns(world, runs, ckpt_cfg, &pass_stats);
-      const double wall = seconds_since(t0);
-      if (pass == 0 || wall < ckpt_wall_s) {
-        ckpt_wall_s = wall;
+      ckpt_walls[pass] = seconds_since(t0);
+      if (pass == 0 || ckpt_walls[pass] < ckpt_wall_s) {
+        ckpt_wall_s = ckpt_walls[pass];
         sstats = pass_stats;
         supervised = std::move(outputs);
       }
@@ -385,12 +428,13 @@ int main(int argc, char** argv) {
       same = identical(serial[i], supervised[i]);
     }
     all_identical = all_identical && same;
-    const double ckpt_overhead_pct =
-        100.0 * (ckpt_wall_s - plain_wall_s) / plain_wall_s;
+    const Overhead ckpt_overhead = measure_overhead(plain_walls, ckpt_walls);
     std::printf("supervised: %6.2f s at %zu threads with checkpoint every 8 "
-                "(overhead %+.1f%%) — %llu checkpoint writes, %llu bytes, "
+                "(overhead %+.1f%%, raw %+.1f%%, noise floor \xc2\xb1%.1f%%) "
+                "— %llu checkpoint writes, %llu bytes, "
                 "%llu retries, %llu timeouts   %s\n",
-                ckpt_wall_s, threads, ckpt_overhead_pct,
+                ckpt_wall_s, threads, ckpt_overhead.clamped_pct,
+                ckpt_overhead.raw_pct, ckpt_overhead.noise_floor_pct,
                 static_cast<unsigned long long>(sstats.checkpoint_writes),
                 static_cast<unsigned long long>(sstats.checkpoint_bytes),
                 static_cast<unsigned long long>(sstats.retries),
@@ -399,7 +443,10 @@ int main(int argc, char** argv) {
     json << "  \"supervisor\": {\"threads\": " << threads
          << ", \"checkpoint_every\": 8"
          << ", \"wall_s\": " << ckpt_wall_s
-         << ", \"checkpoint_overhead_pct\": " << ckpt_overhead_pct
+         << ", \"checkpoint_overhead_pct\": " << ckpt_overhead.clamped_pct
+         << ", \"checkpoint_overhead_raw_pct\": " << ckpt_overhead.raw_pct
+         << ", \"checkpoint_noise_floor_pct\": "
+         << ckpt_overhead.noise_floor_pct
          << ", \"retries\": " << sstats.retries
          << ", \"timeouts\": " << sstats.timeouts
          << ", \"event_budget_trips\": " << sstats.event_budget_trips
@@ -578,7 +625,101 @@ int main(int argc, char** argv) {
            << ", \"wall_s\": " << e.r.wall_s << ", \"speedup\": " << sp
            << ", \"identical\": " << (same ? "true" : "false") << "}";
     }
-    json << "\n    ]}\n";
+    json << "\n    ]},\n";
+  }
+
+  // Sharded city (sim/shard): deliver throughput vs shard count on the
+  // multi-district world. Every row simulates the same 100k-radio city;
+  // identity is the order-independent delivery digest (plus the raw
+  // transmission/delivery/gap counters) against the single-Medium baseline,
+  // checked at every shard count and again at a pinned worker count. Auto
+  // worker counts (workers = 0) resolve to min(shards, hardware) inside
+  // run_sharded_city, so a single-core host still publishes honest
+  // (parallelism-free) walls; the >= 3x acceptance number for the 4-shard
+  // row is only expected on a >= 4-thread machine (tests/perf_smoke_test
+  // asserts it there).
+  {
+    sim::ShardedCityConfig scfg;
+    scfg.radios = 100000;
+    scfg.grid.rows = 2;
+    scfg.duration = support::SimTime::seconds(0.5);
+    {
+      auto warm = scfg;
+      warm.shards = 1;
+      warm.duration = support::SimTime::seconds(0.125);
+      (void)sim::run_sharded_city(warm);
+    }
+    json << "  \"sharded_city\": {\"radios\": " << scfg.radios
+         << ", \"sim_s\": " << scfg.duration.sec() << ",\n    \"rows\": [";
+    sim::ShardedCityResult sc_base;
+    bool first_row = true;
+    const auto sc_row = [&](int shards, std::size_t workers) {
+      auto cfg = scfg;
+      cfg.shards = shards;
+      cfg.workers = workers;
+      // Best-of-2, like every other compared pass in this harness.
+      sim::ShardedCityResult r = sim::run_sharded_city(cfg);
+      sim::ShardedCityResult again = sim::run_sharded_city(cfg);
+      if (again.wall_s < r.wall_s) r = std::move(again);
+      const bool same = shards == 1 ||
+                        (r.transmissions == sc_base.transmissions &&
+                         r.deliveries == sc_base.deliveries &&
+                         r.gap_silences == sc_base.gap_silences &&
+                         r.delivery_digest == sc_base.delivery_digest);
+      all_identical = all_identical && same;
+      const double sp = shards == 1
+                            ? 1.0
+                            : (r.wall_s > 0.0 ? sc_base.wall_s / r.wall_s
+                                              : 0.0);
+      std::printf("sharded city: %d shard%s, %zu worker%s — %.3f s (%.2fx), "
+                  "%.3gM deliveries/s   %s\n",
+                  shards, shards == 1 ? " " : "s", r.workers,
+                  r.workers == 1 ? " " : "s", r.wall_s, sp,
+                  r.deliveries_per_s / 1e6,
+                  same ? "deliveries identical" : "DELIVERY MISMATCH");
+      json << (first_row ? "" : ",") << "\n      {\"shards\": " << shards
+           << ", \"workers\": " << r.workers << ", \"wall_s\": " << r.wall_s
+           << ", \"speedup\": " << sp
+           << ", \"deliveries_per_s\": " << r.deliveries_per_s
+           << ", \"handoffs\": " << r.handoffs
+           << ", \"identical\": " << (same ? "true" : "false") << "}";
+      first_row = false;
+      if (shards == 1) sc_base = std::move(r);
+    };
+    for (const int shards : {1, 2, 4, 8}) sc_row(shards, 0);
+    sc_row(4, 2);  // worker-count invariance at a fixed partition
+    json << "\n    ],\n";
+
+    // Handoff-heavy identity row: compact districts over a long horizon so
+    // walkers actually cross shard midlines — at 0.5 s on 500 m districts
+    // no phone gets near a boundary and the rows above exercise only the
+    // partitioned fanout, not the migration machinery.
+    sim::ShardedCityConfig hcfg;
+    hcfg.radios = 2000;
+    hcfg.ap_tx_dbm = 5.0;
+    hcfg.phone_tx_dbm = 0.0;
+    hcfg.grid.district_m = 60.0;
+    hcfg.grid.gap_m = 70.0;
+    hcfg.duration = support::SimTime::seconds(120.0);
+    const sim::ShardedCityResult h1 = sim::run_sharded_city(hcfg);
+    auto hcfg4 = hcfg;
+    hcfg4.shards = 4;
+    const sim::ShardedCityResult h4 = sim::run_sharded_city(hcfg4);
+    const bool hand_same = h4.transmissions == h1.transmissions &&
+                           h4.deliveries == h1.deliveries &&
+                           h4.gap_silences == h1.gap_silences &&
+                           h4.delivery_digest == h1.delivery_digest;
+    all_identical = all_identical && hand_same;
+    std::printf("sharded city: handoff check — %llu handoffs across 4 "
+                "shards, %llu deliveries   %s\n",
+                static_cast<unsigned long long>(h4.handoffs),
+                static_cast<unsigned long long>(h4.deliveries),
+                hand_same ? "deliveries identical" : "DELIVERY MISMATCH");
+    json << "    \"handoff_check\": {\"radios\": " << hcfg.radios
+         << ", \"sim_s\": " << hcfg.duration.sec()
+         << ", \"shards\": " << hcfg4.shards
+         << ", \"handoffs\": " << h4.handoffs
+         << ", \"identical\": " << (hand_same ? "true" : "false") << "}}\n";
   }
   json << "}\n";
 

@@ -211,15 +211,6 @@ bool detect_avx2() { return false; }
 
 #endif  // __x86_64__
 
-// Below this many elements the AVX2 kernels lose to the scalar loops: the
-// vector body covers at most three 4-lane blocks while the call still pays
-// the YMM dirty/clean round trip (vzeroupper plus the first 256-bit op's
-// state transition). Measured on the fanout filter: the vector path wins
-// ~1.6x at 12 elements and is parity at 8, so 12 is the crossover. Dispatch
-// below the threshold is invisible to callers — both paths are bit-identical
-// by construction.
-constexpr std::size_t kSimdMinElems = 12;
-
 }  // namespace
 
 bool fanout_simd_available() {
@@ -236,7 +227,7 @@ std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
   std::size_t matched_local = 0;
   std::size_t& matched = key_matched != nullptr ? *key_matched : matched_local;
 #if defined(__x86_64__)
-  if (use_simd && n >= kSimdMinElems && fanout_simd_available()) {
+  if (use_simd && n >= kSimdFilterMinElems && fanout_simd_available()) {
     return filter_avx2(slots, xs, ys, keys, n, tx_x, tx_y, range_sq, want,
                        self_slot, out, matched);
   }
@@ -248,9 +239,10 @@ std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
 }
 
 void fanout_lut_eval(const PathLossLut& lut, double tx_dbm,
-                     FanoutCandidate* cand, std::size_t n, bool use_simd) {
+                     FanoutCandidate* cand, std::size_t n, bool use_simd,
+                     std::size_t simd_min_elems) {
 #if defined(__x86_64__)
-  if (use_simd && n >= kSimdMinElems && fanout_simd_available()) {
+  if (use_simd && n >= simd_min_elems && fanout_simd_available()) {
     lut_eval_avx2(lut, tx_dbm, cand, n);
     return;
   }

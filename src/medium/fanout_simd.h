@@ -49,6 +49,27 @@ static_assert(std::is_trivially_default_constructible_v<FanoutCandidate>);
 /// True when the AVX2 path is compiled in and this CPU supports it.
 bool fanout_simd_available();
 
+/// Below this many elements the AVX2 *filter* kernel loses to the scalar
+/// loop: the vector body covers at most three 4-lane blocks while the call
+/// still pays the YMM dirty/clean round trip (vzeroupper plus the first
+/// 256-bit op's state transition). Measured: the vector filter wins ~1.6x
+/// at 12 elements and is parity at 8, so 12 is the crossover. Dispatch
+/// below the threshold is invisible to callers — both paths are
+/// bit-identical by construction.
+inline constexpr std::size_t kSimdFilterMinElems = 12;
+
+/// The *LUT evaluation* kernel has a much higher crossover than the filter:
+/// it is gather-bound (one vpgatherqq of LUT segments per 4 survivors), so
+/// its per-element vector win is small while the AVX entry cost is the
+/// same. On memory-bound district shapes — thousands of fanouts whose
+/// survivor chunks are a few dozen elements — dispatching the LUT stage at
+/// the filter's threshold made SIMD runs ~7% SLOWER than scalar overall
+/// (BENCH_wallclock.json city_scale.intra_run, pre-fix). Micro-measured on
+/// the sparse-district shape the crossover sits past 32 elements; 48 keeps
+/// a safety margin while dense crowds (hundreds of survivors per chunk)
+/// still vectorize. Overridable per Medium via Config::simd_lut_min_elems.
+inline constexpr std::size_t kSimdLutMinElems = 48;
+
 /// Filter one slot-sorted bucket slice: for each index i < n, accept when
 /// keys[i] == want, slots[i] != self_slot and (x,y) lies within range_sq of
 /// (tx_x, tx_y) in the squared-distance domain (NaN rejects, matching the
@@ -75,7 +96,11 @@ std::size_t fanout_filter(const std::uint32_t* slots, const double* xs,
 /// reference clamp and the top-segment index clamp. Bit-identical between
 /// the vector and scalar paths. Every cand[i].dist_sq must satisfy
 /// lut.covers() — the caller checks range² once for the whole fanout.
+/// `simd_min_elems` is the vector-dispatch cutoff (the gather-bound LUT
+/// kernel needs far more elements than the filter to win; see
+/// kSimdLutMinElems).
 void fanout_lut_eval(const PathLossLut& lut, double tx_dbm,
-                     FanoutCandidate* cand, std::size_t n, bool use_simd);
+                     FanoutCandidate* cand, std::size_t n, bool use_simd,
+                     std::size_t simd_min_elems = kSimdLutMinElems);
 
 }  // namespace cityhunter::medium

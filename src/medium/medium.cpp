@@ -35,6 +35,8 @@ Medium::Medium(EventQueue& events, Config cfg)
         "Medium: shard_min_candidates must be non-negative");
   }
   use_simd_ = cfg_.simd_fanout && fanout_simd_available();
+  lut_min_elems_ = cfg_.simd_lut_min_elems != 0 ? cfg_.simd_lut_min_elems
+                                                : kSimdLutMinElems;
   shard_scratch_.resize(static_cast<std::size_t>(cfg_.intra_run_workers));
   if (cfg_.intra_run_workers > 1) {
     team_ = std::make_unique<support::TaskTeam>(
@@ -97,6 +99,28 @@ void Medium::detach(Radio& radio) {
     ++topology_epoch_;
   }
   radio.medium_ = nullptr;
+}
+
+Medium::RadioSnapshot Medium::export_radio(Radio& radio) {
+  const RadioState& st = state(radio.id_);
+  const RadioSnapshot snapshot{st.pos,         st.channel,
+                               st.tx_power_dbm, st.frames_sent,
+                               st.frames_received, st.tx_seq,
+                               st.tx_retries,  st.rx_lost};
+  detach(radio);
+  return snapshot;
+}
+
+Radio Medium::import_radio(const RadioSnapshot& snapshot, FrameSink* sink) {
+  Radio radio =
+      attach(snapshot.pos, snapshot.channel, snapshot.tx_power_dbm, sink);
+  RadioState& st = state(radio.id_);
+  st.frames_sent = snapshot.frames_sent;
+  st.frames_received = snapshot.frames_received;
+  st.tx_seq = snapshot.tx_seq;
+  st.tx_retries = snapshot.tx_retries;
+  st.rx_lost = snapshot.rx_lost;
+  return radio;
 }
 
 Medium::RadioState& Medium::state(RadioId id) {
@@ -190,6 +214,7 @@ void Medium::maybe_compact_arena() {
   arena_ys_.swap(ys);
   arena_keys_.swap(keys);
   arena_garbage_ = 0;
+  ++arena_compactions_;
 }
 
 Medium::BucketRef* Medium::find_bucket_in(CellEntry& ce, std::uint16_t part) {
@@ -735,7 +760,7 @@ void Medium::run_shard_chunk(const ShardJob& job, std::size_t chunk,
   }
   if (job.precompute) {
     fanout_lut_eval(lut_, job.tx_dbm, scratch.cand.data(),
-                    scratch.cand.size(), job.use_simd);
+                    scratch.cand.size(), job.use_simd, job.lut_min_elems);
   }
 }
 
@@ -818,6 +843,7 @@ void Medium::deliver_batched(RadioId from, const dot11::Frame& frame,
   job.want = want;
   job.self_slot = self;
   job.use_simd = use_simd_;
+  job.lut_min_elems = lut_min_elems_;
   // Lossy runs always recompute exact RX power at delivery time (the
   // erasure draw must see bit-identical values to the reference path), so
   // the LUT precompute only runs fault-free. covers(range_sq) implies

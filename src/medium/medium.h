@@ -127,6 +127,14 @@ class Medium {
     /// operation order exactly (no FMA), so results are bit-identical either
     /// way; disable only to benchmark the scalar path.
     bool simd_fanout = true;
+    /// Minimum survivor count before the LUT evaluation stage dispatches to
+    /// its AVX2 kernel. The LUT kernel is gather-bound (one i64gather per 4
+    /// survivors), so on memory-bound district shapes — many fanouts with a
+    /// few dozen survivors each — the AVX entry cost plus the gathers lose
+    /// to the scalar loop well past the filter kernel's crossover; see
+    /// kSimdLutMinElems in fanout_simd.h. 0 (default) uses that library
+    /// default; results are bit-identical at any value.
+    std::size_t simd_lut_min_elems = 0;
     /// Intra-run fanout parallelism: total workers (including the calling
     /// thread) that fill private survivor scratches from contiguous chunks
     /// of the candidate buckets. Delivery itself — sink callbacks and fault
@@ -158,6 +166,35 @@ class Medium {
   /// Remove a radio; its handle becomes invalid and queued frames are
   /// dropped.
   void detach(Radio& radio);
+
+  /// Boundary radio handoff for the sharded city (sim/shard): everything a
+  /// destination shard's Medium needs to continue a radio that just crossed
+  /// a shard boundary. Local radio ids stay monotone per Medium and never
+  /// transfer — the importing Medium issues a fresh id — so the snapshot
+  /// carries the radio's physical state and lifetime counters instead.
+  struct RadioSnapshot {
+    Position pos;
+    std::uint8_t channel = 1;
+    double tx_power_dbm = 0.0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t tx_seq = 0;
+    std::uint64_t tx_retries = 0;
+    std::uint64_t rx_lost = 0;
+  };
+
+  /// Snapshot `radio` and detach it. Precondition: the radio is idle (no
+  /// queued or in-flight transmission) — the sharded city guarantees this
+  /// by keeping clients radio-silent in the guard gaps, so a handoff never
+  /// races a fanout. Detaching runs the normal epoch invalidation, so any
+  /// stale pair-cache entries and bucket slots die with the local id.
+  RadioSnapshot export_radio(Radio& radio);
+
+  /// Attach a radio from another Medium's snapshot, restoring its counters
+  /// and fault-stream sequence so the radio's observable behaviour
+  /// continues exactly where the exporting shard left off.
+  Radio import_radio(const RadioSnapshot& snapshot,
+                     FrameSink* sink = nullptr);
 
   EventQueue& events() { return events_; }
   const Config& config() const { return cfg_; }
@@ -224,6 +261,20 @@ class Medium {
     }
   };
   BucketOccupancy bucket_occupancy() const;
+
+  /// Slab-arena health counters (see DESIGN.md §5g): elements filed in live
+  /// buckets, abandoned (unreachable) elements awaiting compaction, and how
+  /// many times maybe_compact_arena() actually rebuilt the arena. Lets
+  /// tests drive the `garbage > live && garbage >= 4096` trigger explicitly
+  /// instead of inferring it from timing.
+  struct ArenaStats {
+    std::size_t live = 0;
+    std::size_t garbage = 0;
+    std::uint64_t compactions = 0;
+  };
+  ArenaStats arena_stats() const {
+    return {arena_live_, arena_garbage_, arena_compactions_};
+  }
 
   /// Visit every live bucket as (partition key, occupancy). Traversal order
   /// follows the cell map — callers must be order-insensitive (histogram
@@ -390,6 +441,8 @@ class Medium {
     std::uint32_t self_slot = kNoSlot;
     bool use_simd = false;
     bool precompute = false;  // LUT rx_dbm filled per survivor in-shard
+    /// Config::simd_lut_min_elems resolved against the library default.
+    std::size_t lut_min_elems = 0;
   };
 
   /// One entry of the pair pathloss cache. Valid for a lookup iff key,
@@ -606,6 +659,8 @@ class Medium {
   std::vector<ShardScratch> shard_scratch_;
   /// simd_fanout ∧ the CPU actually has AVX2, resolved once.
   bool use_simd_ = false;
+  /// Config::simd_lut_min_elems, resolved against kSimdLutMinElems once.
+  std::size_t lut_min_elems_ = 0;
   FanoutStats fanout_stats_;
 
   double cell_size_ = 0.0;
@@ -626,6 +681,7 @@ class Medium {
   std::vector<std::uint16_t> arena_keys_;
   std::size_t arena_live_ = 0;     // elements currently filed in buckets
   std::size_t arena_garbage_ = 0;  // abandoned (unreachable) elements
+  std::uint64_t arena_compactions_ = 0;  // maybe_compact_arena rebuilds
   /// bucket_normalize scratch for the churn tail, reused across calls
   /// (normalize never suspends — no sink runs inside it — so one scratch
   /// serves nested delivery too).

@@ -1,0 +1,37 @@
+#include "mobility/district_walk.h"
+
+#include <cmath>
+
+namespace cityhunter::mobility {
+
+DistrictWalker::DistrictWalker(const world::DistrictGrid* grid,
+                               support::Rng rng, double speed_mps)
+    : grid_(grid), rng_(std::move(rng)), speed_mps_(speed_mps) {
+  const auto start = grid_->cell(static_cast<int>(
+      rng_.index(static_cast<std::size_t>(grid_->districts()))));
+  pos_ = grid_->sample_in(start, rng_);
+  pick_waypoint();
+}
+
+void DistrictWalker::pick_waypoint() {
+  const auto dest = grid_->cell(static_cast<int>(
+      rng_.index(static_cast<std::size_t>(grid_->districts()))));
+  wp_ = grid_->sample_in(dest, rng_);
+}
+
+medium::Position DistrictWalker::step(double dt_s) {
+  const double dx = wp_.x - pos_.x;
+  const double dy = wp_.y - pos_.y;
+  const double d = std::hypot(dx, dy);
+  const double step_m = speed_mps_ * dt_s;
+  if (d <= step_m) {
+    pos_ = wp_;
+    pick_waypoint();
+  } else {
+    pos_.x += dx / d * step_m;
+    pos_.y += dy / d * step_m;
+  }
+  return pos_;
+}
+
+}  // namespace cityhunter::mobility

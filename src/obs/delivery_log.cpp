@@ -1,0 +1,57 @@
+#include "obs/delivery_log.h"
+
+#include <bit>
+
+namespace cityhunter::obs {
+
+namespace {
+
+inline std::uint64_t fnv1a_word(std::uint64_t h, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (i * 8)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t record_hash(const DeliveryRecord& r) {
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a_word(h, static_cast<std::uint64_t>(r.time_us));
+  h = fnv1a_word(h, r.tx_id);
+  h = fnv1a_word(h, r.rx_id);
+  h = fnv1a_word(h, r.rssi_bits);
+  h = fnv1a_word(h, r.channel);
+  return h;
+}
+
+void DeliveryLog::record(std::int64_t time_us, std::uint64_t tx_id,
+                         std::uint64_t rx_id, double rssi_dbm,
+                         std::uint8_t channel) {
+  const DeliveryRecord r{time_us, tx_id, rx_id,
+                         std::bit_cast<std::uint64_t>(rssi_dbm), channel};
+  ++count_;
+  digest_ += record_hash(r);  // mod-2^64 sum: order-independent, multiset
+  if (keep_) records_.push_back(r);
+}
+
+std::vector<DeliveryRecord> merge_by_input_order(
+    std::span<const DeliveryLog* const> logs) {
+  std::size_t total = 0;
+  for (const DeliveryLog* log : logs) total += log->records().size();
+  std::vector<DeliveryRecord> merged;
+  merged.reserve(total);
+  for (const DeliveryLog* log : logs) {
+    merged.insert(merged.end(), log->records().begin(), log->records().end());
+  }
+  return merged;
+}
+
+std::uint64_t combined_digest(std::span<const DeliveryLog* const> logs) {
+  std::uint64_t d = 0;
+  for (const DeliveryLog* log : logs) d += log->digest();
+  return d;
+}
+
+}  // namespace cityhunter::obs

@@ -992,6 +992,88 @@ TEST(MediumEquivalence, ChannelStormSurvivesShardedFaultyMigration) {
   EXPECT_EQ(first, second);
 }
 
+// Move-dominated churn spread over a wide area (most radios alone in their
+// ~60 m cell), so nearly every move vacates a bucket and turns its whole
+// capacity into arena garbage. A few thousand ops push the garbage counter
+// past the compaction trigger (garbage >= 4096 and garbage > live) several
+// times over while the live population stays ~24 — exactly the regime
+// maybe_compact_arena exists for. Interleaved transmits make the probes
+// bracket the compactions, so a botched rewrite would corrupt deliveries.
+std::vector<FuzzOp> make_compaction_storm_script(std::uint64_t seed,
+                                                 int ops) {
+  Rng rng(seed);
+  std::vector<FuzzOp> script;
+  const std::uint8_t channels[] = {1, 6, 11};
+  const auto pos = [&rng]() -> Position {
+    return {rng.uniform(-480.0, 480.0), rng.uniform(-480.0, 480.0)};
+  };
+  for (int i = 0; i < 24; ++i) {  // initial population
+    script.push_back({FuzzOp::kAttach, 0, pos(), channels[rng.index(3)],
+                      rng.chance(0.3) ? 20.0 : 15.0, true});
+  }
+  for (int i = 0; i < ops; ++i) {
+    const double roll = rng.uniform(0.0, 1.0);
+    FuzzOp op;
+    op.target = rng.index(64);
+    op.pos = pos();
+    op.channel = channels[rng.index(3)];
+    op.dbm = rng.chance(0.3) ? 20.0 : 15.0;
+    op.broadcast = rng.chance(0.5);
+    if (roll < 0.04) {
+      op.kind = FuzzOp::kAttach;
+    } else if (roll < 0.08) {
+      op.kind = FuzzOp::kDetach;
+    } else if (roll < 0.14) {
+      op.kind = FuzzOp::kSetChannel;
+    } else if (roll < 0.92) {
+      op.kind = FuzzOp::kMove;
+    } else {
+      op.kind = FuzzOp::kTransmit;
+    }
+    script.push_back(op);
+  }
+  return script;
+}
+
+TEST(MediumEquivalence, CompactionStormMatchesLegacyScanAcrossPipelines) {
+  // Slab-arena compaction under fire: the storm must actually trip the
+  // compactor (asserted via the arena counters, not inferred), and every
+  // delivery before and after each rewrite must match the legacy full scan
+  // — which has no arena to compact — byte for byte, at any worker count,
+  // exact-math and faulty alike.
+  const auto script = make_compaction_storm_script(555u, 7000);
+  for (const bool fault : {false, true}) {
+    FuzzRig scan(fuzz_config(false, false, false, false, fault));
+    replay(scan, script);
+    ASSERT_FALSE(scan.log.empty()) << "fault " << fault;
+    EXPECT_EQ(scan.medium.arena_stats().compactions, 0u);  // no index at all
+    for (const int workers : {1, 8}) {
+      Medium::Config cfg = fault ? fuzz_config(true, true, true, true, true)
+                                 : fuzz_config(true, false, false, true,
+                                               false);
+      cfg.intra_run_workers = workers;
+      cfg.shard_min_candidates = 0;
+      FuzzRig rig(cfg);
+      replay(rig, script);
+      const auto arena = rig.medium.arena_stats();
+      EXPECT_GT(arena.compactions, 0u)
+          << "storm never tripped the compactor (garbage " << arena.garbage
+          << ", live " << arena.live << ") — the test lost its teeth";
+      // Between compactions the garbage stays under the trigger: compaction
+      // fires as soon as both arms (>= 4096 and > live) hold.
+      EXPECT_TRUE(arena.garbage < 4096 || arena.garbage <= arena.live)
+          << "garbage " << arena.garbage << " live " << arena.live;
+      EXPECT_EQ(scan.log, rig.log)
+          << "fault " << fault << " workers " << workers;
+      if (fault) {
+        EXPECT_EQ(scan.medium.frames_lost(), rig.medium.frames_lost());
+        EXPECT_EQ(scan.medium.drops(), rig.medium.drops());
+        EXPECT_EQ(scan.medium.retries(), rig.medium.retries());
+      }
+    }
+  }
+}
+
 TEST(MediumConfig, RejectsBadIntraRunWorkers) {
   EventQueue events;
   Medium::Config cfg;

@@ -25,6 +25,7 @@
 #include "medium/medium.h"
 #include "obs/trace.h"
 #include "sim/parallel.h"
+#include "sim/shard.h"
 
 namespace cityhunter {
 namespace {
@@ -326,6 +327,53 @@ TEST(PerfSmokeTest, ChannelPartitionedIndexWasteStaysBelowCeiling) {
             5 * std::max<std::uint64_t>(part.wasted_candidates, 1))
       << "mixed-channel index wasted " << mixed.wasted_candidates
       << " loads vs " << part.wasted_candidates << " partitioned";
+}
+
+// The sharded city's scaling claim (ISSUE 10 acceptance): on a >= 4-thread
+// host, the 4-shard city must deliver at >= 3x the single-Medium throughput
+// — with byte-identical deliveries, asserted before any timing is trusted.
+// The smoke shrinks the acceptance scenario's 100k radios to 20k so ctest
+// stays fast; the geometry, the conservative barrier and the handoff
+// machinery are exactly the full-size ones. Skipped below 4 hardware
+// threads and under sanitizers, like every timing assertion in this file.
+TEST(PerfSmokeTest, ShardedCityScalesOnMulticore) {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  GTEST_SKIP() << "sanitizer build: timing assertions are meaningless";
+#else
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    GTEST_SKIP() << "needs >= 4 hardware threads, have " << hw;
+  }
+  sim::ShardedCityConfig cfg;  // default 8x2 districts, 136 m gaps
+  cfg.radios = 20000;
+  cfg.duration = support::SimTime::seconds(8.0);
+
+  const auto best_of = [](const sim::ShardedCityConfig& c) {
+    sim::ShardedCityResult best = sim::run_sharded_city(c);
+    sim::ShardedCityResult again = sim::run_sharded_city(c);
+    if (again.wall_s < best.wall_s) best = std::move(again);
+    return best;
+  };
+  auto single_cfg = cfg;
+  single_cfg.shards = 1;
+  auto sharded_cfg = cfg;
+  sharded_cfg.shards = 4;
+  sharded_cfg.workers = 4;
+  const auto single = best_of(single_cfg);
+  const auto sharded = best_of(sharded_cfg);
+
+  // Byte-identical output is non-negotiable regardless of timing.
+  ASSERT_GT(single.deliveries, 0u);
+  ASSERT_EQ(single.transmissions, sharded.transmissions);
+  ASSERT_EQ(single.deliveries, sharded.deliveries);
+  ASSERT_EQ(single.gap_silences, sharded.gap_silences);
+  ASSERT_EQ(single.delivery_digest, sharded.delivery_digest);
+
+  EXPECT_GE(single.wall_s / sharded.wall_s, 3.0)
+      << "4-shard city must deliver >= 3x the single-Medium throughput: "
+      << "single " << single.wall_s << " s, sharded " << sharded.wall_s
+      << " s (" << sharded.handoffs << " handoffs)";
+#endif
 }
 
 TEST(PerfSmokeTest, CounterIsLive) {
